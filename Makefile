@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every EXPERIMENTS.md table (minutes).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Smoke-scale sweep (seconds).
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/disjointness
+	$(GO) run ./examples/foolingviews
+	$(GO) run ./examples/cliquelisting
+	$(GO) run ./examples/cycledetect
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,122 @@
+// experiments regenerates every table of EXPERIMENTS.md: one experiment
+// per theorem/figure of the paper (index in DESIGN.md §3).
+//
+//	experiments            # the full sweep used for EXPERIMENTS.md
+//	experiments -quick     # a fast smoke-scale run
+//	experiments -only E4   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"subgraph/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "small sizes (seconds instead of minutes)")
+		only  = flag.String("only", "", "run a single experiment: E1 .. E7")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+
+	if want("E1") {
+		nsK2 := []int{100, 200, 400, 800, 1600, 3200, 6400}
+		nsK3 := []int{100, 200, 400, 800}
+		if *quick {
+			nsK2 = []int{100, 200, 400}
+			nsK3 = []int{100, 200}
+		}
+		fmt.Print(experiments.FormatE1(experiments.E1EvenCycleScaling(2, nsK2, *seed)))
+		fmt.Println()
+		fmt.Print(experiments.FormatE1(experiments.E1EvenCycleScaling(3, nsK3, *seed)))
+		fmt.Println()
+		repsList, trials := []int{1, 4, 16, 64}, 30
+		if *quick {
+			repsList, trials = []int{1, 8}, 8
+		}
+		fmt.Print(experiments.FormatE1Prob(experiments.E1DetectionProbability(2, 120, repsList, trials, *seed)))
+		fmt.Println()
+	}
+	if want("E2") {
+		ns := []int{3, 4, 6, 8, 12}
+		if *quick {
+			ns = []int{3, 5}
+		}
+		fmt.Print(experiments.FormatE2(experiments.E2LowerBoundFamily(2, ns, *seed)))
+		fmt.Println()
+		if !*quick {
+			fmt.Print(experiments.FormatE2(experiments.E2LowerBoundFamily(3, []int{3, 5, 8}, *seed)))
+			fmt.Println()
+		}
+	}
+	if want("E3") {
+		ns := []int{3, 4, 6}
+		if *quick {
+			ns = []int{3, 4}
+		}
+		fmt.Print(experiments.FormatE3(experiments.E3BipartiteFamily(2, ns, *seed)))
+		fmt.Println()
+	}
+	if want("E4") {
+		parts := []int{8, 12, 16}
+		bits := []int{1, 2, 3, 4, 6}
+		if *quick {
+			parts = []int{8}
+			bits = []int{1, 5}
+		}
+		fmt.Print(experiments.FormatE4(experiments.E4Fooling(parts, bits)))
+		fmt.Println()
+		pads := []int{1, 5, 20}
+		if *quick {
+			pads = []int{1, 5}
+		}
+		fmt.Print(experiments.FormatE4Padded(experiments.E4PaddedFooling(8, []int{1, 5}, pads)))
+		fmt.Println()
+	}
+	if want("E5") {
+		n, samples := 64, 40000
+		if *quick {
+			n, samples = 32, 8000
+		}
+		fmt.Print(experiments.FormatE5(experiments.E5OneRound(n, samples, *seed)))
+		fmt.Println()
+		capNs := []int{128, 256, 512, 1024}
+		if *quick {
+			capNs = []int{128, 256}
+		}
+		fmt.Print(experiments.FormatE5Cap(experiments.E5Lemma54Binding(capNs, samples/2, *seed)))
+		fmt.Println()
+	}
+	if want("E6") {
+		fmt.Print(experiments.FormatE6Counts(experiments.E6Lemma13(*seed)))
+		fmt.Println()
+		ns := []int{16, 24, 32, 48, 64}
+		if *quick {
+			ns = []int{16, 24}
+		}
+		fmt.Print(experiments.FormatE6Listing(experiments.E6Listing(3, ns, *seed)))
+		fmt.Println()
+		if !*quick {
+			fmt.Print(experiments.FormatE6Listing(experiments.E6Listing(4, []int{16, 24, 32, 48}, *seed)))
+			fmt.Println()
+		}
+	}
+	if want("E7") {
+		ns := []int{3, 4, 6, 8}
+		if *quick {
+			ns = []int{3, 4}
+		}
+		fmt.Print(experiments.FormatE7(experiments.E7Separation(2, ns, *seed)))
+		fmt.Println()
+		if !*quick {
+			fmt.Print(experiments.FormatE7(experiments.E7Separation(3, []int{3, 5}, *seed)))
+			fmt.Println()
+		}
+	}
+}

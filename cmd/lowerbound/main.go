@@ -1,0 +1,86 @@
+// lowerbound emits the paper's lower-bound constructions and their
+// measured properties.
+//
+// Examples:
+//
+//	lowerbound -construction hk -k 3
+//	lowerbound -construction gkn -k 2 -n 6 -intersect
+//	lowerbound -construction bipartite -k 2 -n 4
+//	lowerbound -construction template -n 8
+//	lowerbound -construction gkn -k 2 -n 4 -edges   # dump the edge list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"subgraph/internal/comm"
+	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+	"subgraph/internal/lower"
+)
+
+func main() {
+	var (
+		construction = flag.String("construction", "hk", "hk | gkn | bipartite | template")
+		k            = flag.Int("k", 2, "triangle count parameter of H_k")
+		n            = flag.Int("n", 4, "disjointness side length (gkn/bipartite) or leaf count (template)")
+		intersect    = flag.Bool("intersect", false, "force an intersecting disjointness instance")
+		seed         = flag.Int64("seed", 1, "random seed")
+		edges        = flag.Bool("edges", false, "dump the edge list")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *construction {
+	case "hk":
+		h := lower.BuildHk(*k)
+		fmt.Printf("H_%d (Figure 1): |V|=%d |E|=%d diameter=%d\n", *k, h.G.N(), h.G.M(), h.G.Diameter())
+		fmt.Printf("endpoint degree: %d (= k+2)\n", h.G.Degree(h.Endpoint[lower.Top][lower.DirA]))
+		dump(h.G, *edges)
+
+	case "gkn":
+		inst := comm.RandomDisjointness(*n, 1.5/float64(*n), *intersect, rng)
+		g := lower.BuildGkn(*k, inst)
+		fmt.Printf("G_{%d,%d} (Definition 2 / Figure 2): |V|=%d |E|=%d diameter=%d m=%d\n",
+			*k, *n, g.G.N(), g.G.M(), g.G.Diameter(), g.M)
+		fmt.Printf("instance intersects: %v → H_k present (Lemma 3.1): %v\n",
+			inst.Intersects(), graph.ContainsSubgraph(lower.BuildHk(*k).G, g.G))
+		fmt.Printf("simulation cut: %d edges (6m+8)\n", g.Partition().CutSize(net(g.G)))
+		dump(g.G, *edges)
+
+	case "bipartite":
+		inst := comm.RandomDisjointness(*n, 1.5/float64(*n), *intersect, rng)
+		h := lower.BuildBipartiteHk(*k, *n)
+		g := lower.BuildBipartiteGkn(*k, inst)
+		bip, _ := g.G.IsBipartite()
+		fmt.Printf("bipartite H'_%d: |V|=%d |E|=%d; host: |V|=%d |E|=%d bipartite=%v\n",
+			*k, h.G.N(), h.G.M(), g.G.N(), g.G.M(), bip)
+		fmt.Printf("simulation cut: %d edges (4m, m=%d)\n", g.Partition().CutSize(net(g.G)), g.M)
+		dump(g.G, *edges)
+
+	case "template":
+		ti := lower.SampleTemplate(*n, rng)
+		fmt.Printf("G_T sample (Figure 3), n=%d leaves per special node\n", *n)
+		fmt.Printf("special ids: %v\n", ti.SpecialID)
+		fmt.Printf("edges (ab, bc, ac): %v %v %v → triangle: %v\n",
+			ti.Edge[0], ti.Edge[1], ti.Edge[2], ti.HasTriangle())
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown construction %q\n", *construction)
+		os.Exit(2)
+	}
+}
+
+func net(g *graph.Graph) *congest.Network { return congest.NewNetwork(g) }
+
+func dump(g *graph.Graph, doit bool) {
+	if !doit {
+		return
+	}
+	for _, e := range g.Edges() {
+		fmt.Printf("%d %d\n", e[0], e[1])
+	}
+}

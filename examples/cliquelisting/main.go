@@ -1,0 +1,51 @@
+// cliquelisting demonstrates K_s listing in the Congested Clique model:
+// the partition-based scheme whose ~n^{1-2/s} rounds match the shape of
+// the paper's Ω̃(n^{1-2/s}) listing lower bound (Section 1.1), compared
+// against the naive all-to-all baseline, plus the Lemma 1.3 counting
+// bound on the outputs.
+//
+// Run with: go run ./examples/cliquelisting
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"subgraph/internal/cclique"
+	"subgraph/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.GNP(48, 0.5, rng)
+	fmt.Printf("input graph: n=%d m=%d (every node initially knows only its own edges)\n\n", g.N(), g.M())
+
+	for _, s := range []int{3, 4} {
+		fmt.Printf("listing all K_%d copies:\n", s)
+
+		part, err := cclique.ListCliques(g, s, 0)
+		if err != nil {
+			panic(err)
+		}
+		naive, err := cclique.ListCliquesNaive(g, s, 0)
+		if err != nil {
+			panic(err)
+		}
+		truth := g.CountCliques(s)
+		fmt.Printf("  partition scheme: %5d cliques in %3d rounds (groups=%d, collectors=%d, B=%d bits/pair)\n",
+			len(part.Cliques), part.Stats.Rounds, part.Groups, part.Collectors, part.B)
+		fmt.Printf("  naive all-to-all: %5d cliques in %3d rounds (B=%d bits/pair)\n",
+			len(naive.Cliques), naive.Stats.Rounds, naive.B)
+		fmt.Printf("  centralized truth: %d copies; both correct: %v\n",
+			truth, int64(len(part.Cliques)) == truth && int64(len(naive.Cliques)) == truth)
+
+		bound := graph.KsUpperBound(int64(g.M()), s)
+		fmt.Printf("  Lemma 1.3: %d ≤ m^{s/2} = %.0f (ratio %.4f)\n",
+			truth, bound, float64(truth)/bound)
+		fmt.Printf("  lower-bound shape: rounds/n^{1-2/s} = %.2f\n\n",
+			float64(part.Stats.Rounds)/math.Pow(float64(g.N()), 1-2/float64(s)))
+	}
+	fmt.Println("The paper proves listing needs Ω̃(n^{1-2/s}) rounds even with O(log n)-bit")
+	fmt.Println("messages between every pair; the partition scheme meets that shape.")
+}

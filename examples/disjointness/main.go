@@ -1,0 +1,54 @@
+// disjointness walks through the Theorem 1.2 reduction: it builds the
+// lower-bound family G_{k,n} from a set-disjointness instance, verifies
+// Lemma 3.1 (a copy of H_k appears exactly when the inputs intersect),
+// and simulates an H_k-detection algorithm between Alice and Bob, pricing
+// every bit that crosses the O(k·n^{1/k})-edge cut.
+//
+// Run with: go run ./examples/disjointness
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraph/internal/comm"
+	"subgraph/internal/graph"
+	"subgraph/internal/lower"
+)
+
+func main() {
+	const k, n = 2, 4
+	rng := rand.New(rand.NewSource(3))
+
+	fmt.Printf("H_%d: the pattern graph of Figure 1\n", k)
+	hk := lower.BuildHk(k)
+	fmt.Printf("  |V|=%d |E|=%d diameter=%d\n\n", hk.G.N(), hk.G.M(), hk.G.Diameter())
+
+	for _, intersect := range []bool{true, false} {
+		inst := comm.RandomDisjointness(n, 0.2, intersect, rng)
+		fmt.Printf("instance over [%d]²: X∩Y ≠ ∅ is %v\n", n, inst.Intersects())
+
+		g := lower.BuildGkn(k, inst)
+		fmt.Printf("  G_{X,Y}: |V|=%d |E|=%d diameter=%d (Property 1: diameter 3)\n",
+			g.G.N(), g.G.M(), g.G.Diameter())
+
+		// Lemma 3.1, both directions.
+		contains := graph.ContainsSubgraph(hk.G, g.G)
+		fmt.Printf("  H_k ⊆ G_{X,Y}: %v (Lemma 3.1 expects %v)\n", contains, g.ExpectHk())
+		if phi := g.PlantedEmbedding(hk); phi != nil {
+			fmt.Printf("  canonical embedding verified: %v\n", graph.VerifyEmbedding(hk.G, g.G, phi))
+		}
+
+		// The two-party simulation.
+		rep, err := lower.RunReduction(k, inst, 1)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  cut=%d edges (= 6m+8 with m=%d)\n", rep.Cut, rep.M)
+		fmt.Printf("  detector answered %v in %d rounds; Alice↔Bob traffic %d bits\n",
+			rep.Detected, rep.Rounds, rep.BitsExchanged)
+		fmt.Printf("  Theorem 1.2 at this size: any correct algorithm needs ≥ %.4f rounds\n",
+			rep.ImpliedRoundLB)
+		fmt.Printf("  (with the conservative 1/100 disjointness constant; the bound grows as n^{2-1/k})\n\n")
+	}
+}

@@ -1,0 +1,3 @@
+module subgraph
+
+go 1.22

@@ -1,0 +1,59 @@
+package bitio
+
+import "testing"
+
+// Native fuzz targets (also executed as unit tests over the seed corpus
+// by `go test`): decoders must never panic on arbitrary input, and
+// round-trips must be exact.
+
+func FuzzGammaDecode(f *testing.F) {
+	f.Add([]byte{0xFF}, 3)
+	f.Add([]byte{0x00}, 8)
+	f.Add([]byte{0xA5, 0x3C}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > 8*len(data) {
+			return
+		}
+		s := FromBytes(data).Slice(0, nbits)
+		r := NewReader(s)
+		for r.Remaining() > 0 {
+			if _, ok := GammaDecode(r); !ok {
+				break
+			}
+		}
+	})
+}
+
+func FuzzGammaRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1<<40 + 12345))
+	f.Fuzz(func(t *testing.T, v uint64) {
+		if v == ^uint64(0) {
+			return
+		}
+		r := NewReader(GammaBits(v))
+		got, ok := GammaDecode(r)
+		if !ok || got != v || r.Remaining() != 0 {
+			t.Fatalf("round trip failed for %d: got %d ok=%v rem=%d", v, got, ok, r.Remaining())
+		}
+	})
+}
+
+func FuzzBitStringSliceConcat(f *testing.F) {
+	f.Add([]byte{0x0F, 0xF0}, 3, 11)
+	f.Fuzz(func(t *testing.T, data []byte, from, to int) {
+		s := FromBytes(data)
+		if from < 0 || to > s.Len() || from > to {
+			return
+		}
+		sub := s.Slice(from, to)
+		if sub.Len() != to-from {
+			t.Fatalf("slice length %d want %d", sub.Len(), to-from)
+		}
+		// Concat of complementary slices reconstructs the original.
+		full := s.Slice(0, from).Concat(sub).Concat(s.Slice(to, s.Len()))
+		if !full.Equal(s) {
+			t.Fatal("slice/concat did not reconstruct")
+		}
+	})
+}

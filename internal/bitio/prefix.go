@@ -1,0 +1,125 @@
+package bitio
+
+import "fmt"
+
+// Elias-gamma coding gives a universal prefix-free code for positive
+// integers; we offset by one so zero is encodable. Section 4 of the paper
+// requires algorithm messages to form a prefix code so that concatenated
+// transcripts parse uniquely; Gamma/GammaDecode are the canonical such code
+// used by the built-in algorithms, and IsPrefixFree validates arbitrary
+// message sets.
+
+// Gamma appends the Elias-gamma code of v+1 to w (so any v ≥ 0 is valid).
+// The code of a k-bit number is k-1 zeros followed by the number itself:
+// |code(v)| = 2⌊log2(v+1)⌋ + 1 bits.
+func Gamma(w *Writer, v uint64) {
+	if v == ^uint64(0) { // v+1 would overflow
+		panic("bitio: Gamma cannot encode MaxUint64")
+	}
+	x := v + 1
+	nbits := bitLen(x)
+	for i := 0; i < nbits-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteUint(x, nbits)
+}
+
+// GammaBits returns the Elias-gamma code of v as a BitString.
+func GammaBits(v uint64) BitString {
+	w := NewWriter()
+	Gamma(w, v)
+	return w.BitString()
+}
+
+// GammaLen returns the length in bits of Gamma's encoding of v.
+func GammaLen(v uint64) int {
+	if v == ^uint64(0) {
+		panic("bitio: Gamma cannot encode MaxUint64")
+	}
+	return 2*(bitLen(v+1)-1) + 1
+}
+
+// GammaDecode consumes one Elias-gamma codeword from r.
+func GammaDecode(r *Reader) (v uint64, ok bool) {
+	zeros := 0
+	for {
+		b, ok := r.ReadBit()
+		if !ok {
+			return 0, false
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, false
+		}
+	}
+	rest, ok := r.ReadUint(zeros)
+	if !ok {
+		return 0, false
+	}
+	x := uint64(1)<<uint(zeros) | rest
+	return x - 1, true
+}
+
+func bitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// IsPrefixFree reports whether no string in set is a proper prefix of
+// another (equal strings are allowed only if they are the same entry;
+// duplicates are reported as a violation since a code must be uniquely
+// decodable). If it returns false, the offending pair indices are returned.
+func IsPrefixFree(set []BitString) (ok bool, i, j int) {
+	for a := 0; a < len(set); a++ {
+		for b := 0; b < len(set); b++ {
+			if a == b {
+				continue
+			}
+			if set[b].HasPrefix(set[a]) {
+				return false, a, b
+			}
+		}
+	}
+	return true, 0, 0
+}
+
+// KraftSum returns Σ 2^{-len(s)} over the set, as a float. A prefix-free
+// code satisfies KraftSum ≤ 1; tests use this as a sanity invariant.
+func KraftSum(set []BitString) float64 {
+	sum := 0.0
+	for _, s := range set {
+		sum += pow2neg(s.Len())
+	}
+	return sum
+}
+
+func pow2neg(k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v /= 2
+	}
+	return v
+}
+
+// MustParseAll repeatedly decodes gamma codewords until the reader is
+// exhausted, panicking on malformed input. Used by transcript parsers in
+// tests where the input is known to be well-formed.
+func MustParseAll(s BitString) []uint64 {
+	r := NewReader(s)
+	var out []uint64
+	for r.Remaining() > 0 {
+		v, ok := GammaDecode(r)
+		if !ok {
+			panic(fmt.Sprintf("bitio: malformed gamma stream at bit %d", r.Pos()))
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package cclique simulates the Congested Clique model: n nodes with an
+// all-to-all communication graph, where in each round every ordered pair of
+// nodes may exchange B bits (B = Θ(log n) in the paper's clique-listing
+// lower bound). The input graph is separate from the communication graph:
+// node v initially knows only the input edges incident to v.
+//
+// The package also implements partition-based K_s listing — the
+// Dolev–Lenzen–Peled "Tri, Tri again" algorithm generalized from triangles
+// to s-cliques — whose round complexity ~n^{1-2/s} matches the shape of the
+// Ω̃(n^{1-2/s}) lower bound the paper proves (Section 1.1 and Lemma 1.3).
+package cclique
+
+import (
+	"fmt"
+	"sort"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// Message is a payload in transit between two clique nodes.
+type Message struct {
+	From, To int
+	Payload  bitio.BitString
+}
+
+// Node is one participant's program in the congested clique.
+type Node interface {
+	// Init receives the environment before round 1; the node can read its
+	// input-graph adjacency from it.
+	Init(env *Env)
+	// Round is called once per round with messages delivered this round.
+	Round(env *Env, inbox []Message)
+}
+
+// Env is a node's interface to the clique during a run.
+type Env struct {
+	me    int
+	n     int
+	b     int
+	round int
+	input *graph.Graph
+
+	out    []Message
+	halted bool
+	err    error
+}
+
+// Me returns this node's index (0..n-1).
+func (e *Env) Me() int { return e.me }
+
+// N returns the number of nodes.
+func (e *Env) N() int { return e.n }
+
+// B returns the per-pair bandwidth in bits per round (0 = unbounded).
+func (e *Env) B() int { return e.b }
+
+// Round returns the current round (1-based).
+func (e *Env) Round() int { return e.round }
+
+// InputNeighbors returns this node's adjacency in the input graph.
+func (e *Env) InputNeighbors() []int32 { return e.input.Neighbors(e.me) }
+
+// InputDegree returns this node's degree in the input graph.
+func (e *Env) InputDegree() int { return e.input.Degree(e.me) }
+
+// Send queues payload for node `to` (any node; the communication graph is
+// complete). Self-sends are rejected.
+func (e *Env) Send(to int, payload bitio.BitString) {
+	if e.err != nil {
+		return
+	}
+	if to < 0 || to >= e.n || to == e.me {
+		e.fail(fmt.Errorf("cclique: node %d: invalid recipient %d", e.me, to))
+		return
+	}
+	e.out = append(e.out, Message{From: e.me, To: to, Payload: payload})
+}
+
+// Halt stops the node; Round will not be called again.
+func (e *Env) Halt() { e.halted = true }
+
+func (e *Env) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Stats aggregates communication measurements of a clique run.
+type Stats struct {
+	Rounds          int
+	TotalBits       int64
+	TotalMessages   int64
+	MaxPairBitsRnd  int // max bits on one ordered pair within a round
+	MaxNodeBitsRnd  int // max bits sent by one node within a round
+	PerRoundBits    []int64
+	MessagesDropped int // always 0; reserved for lossy variants
+}
+
+// Config controls a congested-clique run.
+type Config struct {
+	// B is the per-ordered-pair bandwidth in bits per round; ≤0 unbounded.
+	B int
+	// MaxRounds bounds the execution.
+	MaxRounds int
+}
+
+// Run executes the factory-created nodes on input graph g.
+func Run(g *graph.Graph, factory func() Node, cfg Config) (Stats, error) {
+	if cfg.MaxRounds <= 0 {
+		return Stats{}, fmt.Errorf("cclique: MaxRounds must be positive")
+	}
+	n := g.N()
+	envs := make([]*Env, n)
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		envs[v] = &Env{me: v, n: n, b: cfg.B, input: g}
+		nodes[v] = factory()
+		nodes[v].Init(envs[v])
+		if envs[v].err != nil {
+			return Stats{}, envs[v].err
+		}
+	}
+	var stats Stats
+	inboxes := make([][]Message, n)
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		allHalted := true
+		for v := 0; v < n; v++ {
+			if !envs[v].halted {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			break
+		}
+		for v := 0; v < n; v++ {
+			if envs[v].halted {
+				continue
+			}
+			envs[v].round = round
+			nodes[v].Round(envs[v], inboxes[v])
+			if envs[v].err != nil {
+				return Stats{}, envs[v].err
+			}
+		}
+		stats.Rounds = round
+		next := make([][]Message, n)
+		pairBits := make(map[[2]int]int)
+		nodeBits := make(map[int]int)
+		var roundBits int64
+		for v := 0; v < n; v++ {
+			for _, m := range envs[v].out {
+				bits := m.Payload.Len()
+				key := [2]int{m.From, m.To}
+				pairBits[key] += bits
+				nodeBits[m.From] += bits
+				if cfg.B > 0 && pairBits[key] > cfg.B {
+					return Stats{}, fmt.Errorf(
+						"cclique: bandwidth violation in round %d: %d→%d carried %d bits (B=%d)",
+						round, m.From, m.To, pairBits[key], cfg.B)
+				}
+				if pairBits[key] > stats.MaxPairBitsRnd {
+					stats.MaxPairBitsRnd = pairBits[key]
+				}
+				if nodeBits[m.From] > stats.MaxNodeBitsRnd {
+					stats.MaxNodeBitsRnd = nodeBits[m.From]
+				}
+				roundBits += int64(bits)
+				stats.TotalMessages++
+				next[m.To] = append(next[m.To], m)
+			}
+			envs[v].out = envs[v].out[:0]
+		}
+		stats.TotalBits += roundBits
+		stats.PerRoundBits = append(stats.PerRoundBits, roundBits)
+		for v := range next {
+			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		}
+		inboxes = next
+	}
+	return stats, nil
+}

@@ -1,0 +1,151 @@
+package cclique
+
+import (
+	"sort"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// ListCliquesNaive is the all-to-all baseline: every node broadcasts its
+// full adjacency row (n bits) to everyone, B bits per pair per round, in
+// ⌈n/B⌉ rounds; then every node knows the whole graph and lists the
+// cliques whose minimum vertex it is. Round complexity Θ(n/B) = Θ(n/log n)
+// at B = Θ(log n) — asymptotically worse than the partition scheme's
+// Θ(n^{1-2/s}), though its tiny constants win at small n; the
+// BenchmarkAblationListing pair records the comparison.
+func ListCliquesNaive(g *graph.Graph, s int, bandwidth int) (*ListResult, error) {
+	n := g.N()
+	if s < 2 {
+		return nil, errBadS(s)
+	}
+	if n < s {
+		return &ListResult{}, nil
+	}
+	if bandwidth <= 0 {
+		bandwidth = 8 * bitsLen(n) // Θ(log n)
+	}
+	chunks := (n + bandwidth - 1) / bandwidth
+
+	nodes := make([]*naiveNode, 0, n)
+	factory := func() Node {
+		nn := &naiveNode{n: n, s: s, b: bandwidth, chunks: chunks}
+		nodes = append(nodes, nn)
+		return nn
+	}
+	stats, err := Run(g, factory, Config{B: bandwidth, MaxRounds: chunks + 2})
+	if err != nil {
+		return nil, err
+	}
+	res := &ListResult{Stats: stats, B: bandwidth}
+	for _, nn := range nodes {
+		res.Cliques = append(res.Cliques, nn.found...)
+	}
+	sort.Slice(res.Cliques, func(i, j int) bool {
+		a, b := res.Cliques[i], res.Cliques[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return res, nil
+}
+
+type errBadS int
+
+func (e errBadS) Error() string { return "cclique: s must be ≥ 2" }
+
+func bitsLen(n int) int {
+	b := 1
+	for n > 1 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+type naiveNode struct {
+	n, s, b, chunks int
+
+	me    int
+	row   bitio.BitString
+	rows  map[int]*bitio.Writer
+	found [][]int
+}
+
+func (nn *naiveNode) Init(env *Env) {
+	nn.me = env.Me()
+	w := bitio.NewWriter()
+	nbrs := map[int]bool{}
+	for _, x := range env.InputNeighbors() {
+		nbrs[int(x)] = true
+	}
+	for v := 0; v < nn.n; v++ {
+		if nbrs[v] {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	nn.row = w.BitString()
+	nn.rows = map[int]*bitio.Writer{}
+}
+
+func (nn *naiveNode) Round(env *Env, inbox []Message) {
+	// Absorb row chunks (senders arrive sorted, chunks arrive in round
+	// order, so appending reconstructs each row).
+	for _, m := range inbox {
+		w, ok := nn.rows[m.From]
+		if !ok {
+			w = bitio.NewWriter()
+			nn.rows[m.From] = w
+		}
+		w.WriteBits(m.Payload)
+	}
+	r := env.Round()
+	if r <= nn.chunks {
+		lo := (r - 1) * nn.b
+		hi := lo + nn.b
+		if hi > nn.n {
+			hi = nn.n
+		}
+		chunk := nn.row.Slice(lo, hi)
+		for v := 0; v < env.N(); v++ {
+			if v != nn.me {
+				env.Send(v, chunk)
+			}
+		}
+		return
+	}
+	// All rows received: rebuild the graph and list own-minimum cliques.
+	b := graph.NewBuilder(nn.n)
+	add := func(v int, row bitio.BitString) {
+		for u := 0; u < nn.n && u < row.Len(); u++ {
+			if row.Bit(u) == 1 {
+				b.AddEdgeOK(v, u)
+			}
+		}
+	}
+	add(nn.me, nn.row)
+	for v, w := range nn.rows {
+		add(v, w.BitString())
+	}
+	full := b.Build()
+	full.ForEachClique(nn.s, func(c []int) bool {
+		min := c[0]
+		for _, v := range c {
+			if v < min {
+				min = v
+			}
+		}
+		if min == nn.me {
+			cl := append([]int(nil), c...)
+			sort.Ints(cl)
+			nn.found = append(nn.found, cl)
+		}
+		return true
+	})
+	env.Halt()
+}

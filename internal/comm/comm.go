@@ -1,0 +1,246 @@
+// Package comm provides the two-party communication-complexity substrate
+// behind the paper's Theorem 1.2: set-disjointness instances, and the
+// standard simulation argument in which Alice and Bob jointly execute a
+// CONGEST algorithm over a vertex partition, paying only for messages that
+// cross the cut between their private parts and the rest of the graph.
+//
+// The celebrated Kalyanasundaram–Schnitger / Razborov bound says
+// randomized set disjointness on a universe of size U costs Ω(U) bits;
+// Theorem 1.2 instantiates U = n² over the family G_{k,n}, whose cut has
+// size O(k·n^{1/k}), forcing R = Ω(n^{2-1/k}/(Bk)) rounds.
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraph/internal/congest"
+)
+
+// Role assigns a vertex to a player in the two-party simulation.
+type Role int8
+
+const (
+	// Alice simulates the vertex privately.
+	Alice Role = iota
+	// Bob simulates the vertex privately.
+	Bob
+	// Shared vertices are simulated by both players (their state depends
+	// on no private input, so the copies stay consistent).
+	Shared
+)
+
+func (r Role) String() string {
+	switch r {
+	case Alice:
+		return "alice"
+	case Bob:
+		return "bob"
+	default:
+		return "shared"
+	}
+}
+
+// Partition assigns every vertex of a network to a Role.
+type Partition struct {
+	Owner []Role
+}
+
+// Validate checks the partition covers exactly the network's vertices.
+func (p *Partition) Validate(nw *congest.Network) error {
+	if len(p.Owner) != nw.N() {
+		return fmt.Errorf("comm: partition covers %d of %d vertices", len(p.Owner), nw.N())
+	}
+	return nil
+}
+
+// CutSize returns the number of undirected edges whose message traffic the
+// players must exchange: edges between Alice's private part and the rest,
+// plus edges between Bob's private part and the rest. Edges inside a
+// private part or between shared vertices are free.
+func (p *Partition) CutSize(nw *congest.Network) int {
+	cut := 0
+	for _, e := range nw.G.Edges() {
+		a, b := p.Owner[e[0]], p.Owner[e[1]]
+		if a == b {
+			continue // internal to one side (or both shared)
+		}
+		cut++
+	}
+	return cut
+}
+
+// SimResult reports the cost of a two-party simulation.
+type SimResult struct {
+	// BitsExchanged is the total A↔B communication: every bit sent over a
+	// cut edge in either direction (messages between a private vertex and
+	// any vertex the other player simulates).
+	BitsExchanged int64
+	// PerRoundBits breaks BitsExchanged down by round.
+	PerRoundBits []int64
+	// Rounds is the number of simulated rounds.
+	Rounds int
+	// Rejected is the algorithm's output (Definition 1).
+	Rejected bool
+	// Cut is the partition's cut size in edges.
+	Cut int
+	// Stats is the underlying CONGEST run's measurements.
+	Stats congest.Stats
+}
+
+// SimulateTwoParty executes the CONGEST algorithm on nw and accounts the
+// two-party cost of simulating it across the partition: Alice runs the
+// nodes she owns plus the shared ones, Bob symmetrically, and each message
+// from a private vertex to a vertex the other player simulates must be
+// forwarded, costing its payload length in bits. Shared vertices evolve
+// identically on both sides (their inputs and randomness are public), so
+// shared→shared traffic is free.
+func SimulateTwoParty(nw *congest.Network, part *Partition, factory func() congest.Node, cfg congest.Config) (*SimResult, error) {
+	if err := part.Validate(nw); err != nil {
+		return nil, err
+	}
+	cfg.RecordTranscript = true
+	res, err := congest.Run(nw, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := &SimResult{
+		Rounds:   res.Stats.Rounds,
+		Rejected: res.Rejected(),
+		Cut:      part.CutSize(nw),
+		Stats:    res.Stats,
+	}
+	vertexOf := func(id congest.NodeID) int { return nw.Vertex(id) }
+	for _, round := range res.Transcript.Rounds {
+		var bits int64
+		for _, m := range round {
+			from, to := vertexOf(m.From), vertexOf(m.To)
+			if from < 0 || to < 0 {
+				return nil, fmt.Errorf("comm: transcript message with unknown id %d→%d", m.From, m.To)
+			}
+			of, ot := part.Owner[from], part.Owner[to]
+			// A message crosses iff its sender is private to one player
+			// and its recipient is simulated by the other player
+			// (the other player's private vertices and the shared ones).
+			crosses := (of == Alice && ot != Alice) || (of == Bob && ot != Bob)
+			if crosses {
+				bits += int64(m.Payload.Len())
+			}
+		}
+		sim.PerRoundBits = append(sim.PerRoundBits, bits)
+		sim.BitsExchanged += bits
+	}
+	return sim, nil
+}
+
+// SimulateTwoPartySplit runs the same simulation through the literal
+// two-player executor (congest.RunSplit): Alice and Bob hold separate
+// copies of the node programs and explicitly hand each other the crossing
+// messages, with shared-copy consistency verified every round. The
+// returned costs must agree with SimulateTwoParty's transcript accounting
+// (property-tested); the split form is the constructive witness that the
+// simulation argument of Theorem 1.2 really goes through.
+func SimulateTwoPartySplit(nw *congest.Network, part *Partition, factory func() congest.Node, cfg congest.Config) (*SimResult, error) {
+	if err := part.Validate(nw); err != nil {
+		return nil, err
+	}
+	owner := make([]congest.SplitRole, len(part.Owner))
+	for v, r := range part.Owner {
+		switch r {
+		case Alice:
+			owner[v] = congest.SplitAlice
+		case Bob:
+			owner[v] = congest.SplitBob
+		default:
+			owner[v] = congest.SplitShared
+		}
+	}
+	res, err := congest.RunSplit(nw, owner, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !res.SharedConsistent {
+		return nil, fmt.Errorf("comm: shared copies diverged — the partition leaks private state")
+	}
+	return &SimResult{
+		BitsExchanged: res.BitsExchanged,
+		PerRoundBits:  res.PerRoundBits,
+		Rounds:        res.Rounds,
+		Rejected:      res.Rejected(),
+		Cut:           part.CutSize(nw),
+	}, nil
+}
+
+// DisjointnessInstance is a pair of subsets of a square universe [n]×[n],
+// the input shape used by the Theorem 1.2 reduction.
+type DisjointnessInstance struct {
+	N    int
+	X, Y map[[2]int]bool
+}
+
+// Intersects reports whether X ∩ Y ≠ ∅.
+func (d *DisjointnessInstance) Intersects() bool {
+	for p := range d.X {
+		if d.Y[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// UniverseSize returns n², the measure in the Ω(n²) communication bound.
+func (d *DisjointnessInstance) UniverseSize() int { return d.N * d.N }
+
+// RandomDisjointness samples an instance: each pair enters X and Y
+// independently with density p; if forceIntersect is set and the sample is
+// disjoint, one common element is planted; if forceIntersect is unset, X∩Y
+// is emptied by removing the intersection from Y.
+func RandomDisjointness(n int, p float64, forceIntersect bool, rng *rand.Rand) *DisjointnessInstance {
+	d := &DisjointnessInstance{N: n, X: map[[2]int]bool{}, Y: map[[2]int]bool{}}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				d.X[[2]int{i, j}] = true
+			}
+			if rng.Float64() < p {
+				d.Y[[2]int{i, j}] = true
+			}
+		}
+	}
+	if forceIntersect {
+		if !d.Intersects() {
+			i, j := rng.Intn(n), rng.Intn(n)
+			d.X[[2]int{i, j}] = true
+			d.Y[[2]int{i, j}] = true
+		}
+		return d
+	}
+	for p := range d.X {
+		delete(d.Y, p)
+	}
+	return d
+}
+
+// DisjointnessBound returns the Ω(U) randomized lower bound on the bits
+// needed for set disjointness on universe size U, with the (conservative)
+// constant 1/100 used when experiments compare measured simulation cost
+// against the bound.
+func DisjointnessBound(universe int) float64 { return float64(universe) / 100 }
+
+// SolveDisjointnessTrivially is the deterministic upper bound that frames
+// the lower bound: Alice ships her entire characteristic vector (n² bits)
+// and Bob answers with one bit. It returns the answer and the exact
+// communication cost, which experiments compare against
+// DisjointnessBound (U+1 ≥ Ω(U): the problem sits between the two).
+func SolveDisjointnessTrivially(d *DisjointnessInstance) (intersects bool, bits int64) {
+	// Alice → Bob: the X bitmap in row-major order.
+	bits = int64(d.N * d.N)
+	for p := range d.Y {
+		if d.X[p] {
+			intersects = true
+		}
+	}
+	// Bob → Alice: the answer bit.
+	bits++
+	return intersects, bits
+}

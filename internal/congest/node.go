@@ -1,0 +1,237 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraph/internal/bitio"
+)
+
+// Decision is a node's output in a decision problem. Following
+// Definition 1, the network "detects" H when at least one node rejects;
+// in an H-free execution every node must accept.
+type Decision int8
+
+const (
+	// Accept is the default decision.
+	Accept Decision = iota
+	// Reject is latched: once a node rejects it stays rejected.
+	Reject
+)
+
+func (d Decision) String() string {
+	if d == Reject {
+		return "reject"
+	}
+	return "accept"
+}
+
+// Message is a payload in transit over a directed edge.
+type Message struct {
+	From, To NodeID
+	Payload  bitio.BitString
+}
+
+// Node is one participant's program. The runner creates one instance per
+// vertex via the factory passed to Run; instances must not share mutable
+// state (the parallel engine calls Round concurrently).
+type Node interface {
+	// Init is called once before the first round.
+	Init(env *Env)
+	// Round is called once per round with the messages delivered at the
+	// start of the round (those sent in the previous round), sorted by
+	// sender ID. The node emits messages through env.Send / env.Broadcast.
+	Round(env *Env, inbox []Message)
+}
+
+// Env is a node's interface to the network during a run. All methods are
+// local-state only, so concurrent Round calls on different nodes are safe.
+type Env struct {
+	id        NodeID
+	n         int
+	b         int
+	round     int
+	neighbors []NodeID // sorted (ties broken by vertex)
+	nbrVs     []int    // vertex index of each entry in neighbors
+	rng       *rand.Rand
+	broadcast bool
+
+	out      []outMsg
+	halted   bool
+	decision Decision
+	err      error
+}
+
+// outMsg is a message with its recipient resolved to a vertex index, which
+// is how the runner routes messages (identifiers may be duplicated in the
+// Section 5 input distribution, so IDs alone cannot route).
+type outMsg struct {
+	toV int
+	msg Message
+}
+
+// ID returns this node's identifier.
+func (e *Env) ID() NodeID { return e.id }
+
+// N returns the number of nodes in the network (known to all nodes, as is
+// standard in CONGEST algorithms that depend on n).
+func (e *Env) N() int { return e.n }
+
+// B returns the bandwidth per edge per round; 0 means unbounded (LOCAL).
+func (e *Env) B() int { return e.b }
+
+// Degree returns the number of incident edges.
+func (e *Env) Degree() int { return len(e.neighbors) }
+
+// Neighbors returns the sorted identifiers of adjacent nodes. The caller
+// must not modify the slice.
+func (e *Env) Neighbors() []NodeID { return e.neighbors }
+
+// HasNeighbor reports whether id is adjacent.
+func (e *Env) HasNeighbor(id NodeID) bool {
+	lo, hi := 0, len(e.neighbors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.neighbors[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(e.neighbors) && e.neighbors[lo] == id
+}
+
+// Round returns the current round number (1-based; Init sees round 0).
+func (e *Env) Round() int { return e.round }
+
+// Rand returns this node's private random source, seeded deterministically
+// from the run seed and the node's position so both engines agree.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Send queues payload for delivery to neighbor `to` at the start of the
+// next round. Bandwidth is enforced per directed edge per round after the
+// node's Round call returns. If the node is mid-run in round 0 (Init) or
+// `to` is not a unique neighbor identifier, the run fails with an error.
+func (e *Env) Send(to NodeID, payload bitio.BitString) {
+	if e.err != nil {
+		return
+	}
+	if e.round == 0 {
+		e.fail(fmt.Errorf("node %d: send during Init", e.id))
+		return
+	}
+	if e.broadcast {
+		e.fail(fmt.Errorf("node %d: Send is unavailable in broadcast mode", e.id))
+		return
+	}
+	i := e.neighborIndex(to)
+	if i < 0 {
+		e.fail(fmt.Errorf("node %d: send to non-neighbor %d", e.id, to))
+		return
+	}
+	if i+1 < len(e.neighbors) && e.neighbors[i+1] == to {
+		e.fail(fmt.Errorf("node %d: send to ambiguous duplicate id %d", e.id, to))
+		return
+	}
+	e.out = append(e.out, outMsg{toV: e.nbrVs[i], msg: Message{From: e.id, To: to, Payload: payload}})
+}
+
+// SendPort queues payload on the port-th incident edge (ports are indices
+// into Neighbors()). This addresses neighbors positionally, which remains
+// well-defined under duplicate identifiers.
+func (e *Env) SendPort(port int, payload bitio.BitString) {
+	if e.err != nil {
+		return
+	}
+	if e.round == 0 {
+		e.fail(fmt.Errorf("node %d: send during Init", e.id))
+		return
+	}
+	if e.broadcast {
+		e.fail(fmt.Errorf("node %d: SendPort is unavailable in broadcast mode", e.id))
+		return
+	}
+	if port < 0 || port >= len(e.neighbors) {
+		e.fail(fmt.Errorf("node %d: port %d out of range [0,%d)", e.id, port, len(e.neighbors)))
+		return
+	}
+	e.out = append(e.out, outMsg{toV: e.nbrVs[port], msg: Message{From: e.id, To: e.neighbors[port], Payload: payload}})
+}
+
+// Broadcast queues payload for delivery to every neighbor.
+func (e *Env) Broadcast(payload bitio.BitString) {
+	if e.err != nil {
+		return
+	}
+	if e.round == 0 {
+		e.fail(fmt.Errorf("node %d: send during Init", e.id))
+		return
+	}
+	for i, nb := range e.neighbors {
+		e.out = append(e.out, outMsg{toV: e.nbrVs[i], msg: Message{From: e.id, To: nb, Payload: payload}})
+	}
+}
+
+// neighborIndex returns the first index of id in the sorted neighbor list,
+// or -1.
+func (e *Env) neighborIndex(id NodeID) int {
+	lo, hi := 0, len(e.neighbors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.neighbors[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.neighbors) && e.neighbors[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// Accept sets the node's decision to accept (the default) unless it has
+// already latched reject.
+func (e *Env) Accept() {
+	// Reject is permanent per Definition 1; Accept is a no-op after it.
+}
+
+// Reject latches the node's decision to reject.
+func (e *Env) Reject() { e.decision = Reject }
+
+// Decision returns the node's current decision.
+func (e *Env) Decision() Decision { return e.decision }
+
+// Halt stops the node: Round will not be called again. Pending outgoing
+// messages from the current round are still delivered.
+func (e *Env) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Env) Halted() bool { return e.halted }
+
+func (e *Env) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// FuncNode adapts plain functions to the Node interface, convenient in
+// tests and examples.
+type FuncNode struct {
+	OnInit  func(env *Env)
+	OnRound func(env *Env, inbox []Message)
+}
+
+// Init implements Node.
+func (f *FuncNode) Init(env *Env) {
+	if f.OnInit != nil {
+		f.OnInit(env)
+	}
+}
+
+// Round implements Node.
+func (f *FuncNode) Round(env *Env, inbox []Message) {
+	if f.OnRound != nil {
+		f.OnRound(env, inbox)
+	}
+}

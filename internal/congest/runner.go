@@ -1,0 +1,266 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// B is the per-edge per-round bandwidth in bits; B ≤ 0 means
+	// unbounded (the LOCAL model).
+	B int
+	// MaxRounds bounds the execution; the run also stops when every node
+	// has halted. MaxRounds ≤ 0 is an error (a safety net against
+	// non-terminating algorithms).
+	MaxRounds int
+	// Seed derives every node's private random source.
+	Seed int64
+	// Broadcast restricts nodes to Env.Broadcast (the broadcast-CONGEST
+	// variant in which a node sends the same message on all edges).
+	Broadcast bool
+	// Parallel selects the goroutine engine; the default engine is the
+	// deterministic sequential one. Both produce identical executions.
+	Parallel bool
+	// Workers sets the parallel engine's worker count (default GOMAXPROCS).
+	Workers int
+	// RecordTranscript retains every message sent, grouped by round.
+	RecordTranscript bool
+}
+
+// Stats aggregates communication measurements of a run.
+type Stats struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// TotalBits is the sum of all payload lengths.
+	TotalBits int64
+	// TotalMessages counts messages (including empty payloads).
+	TotalMessages int64
+	// MaxEdgeBitsRound is the maximum number of bits carried by one
+	// directed edge within a single round (≤ B when B > 0).
+	MaxEdgeBitsRound int
+	// PerRoundBits[r] is the number of bits sent in round r+1.
+	PerRoundBits []int64
+	// PerNodeBits[v] is the number of bits sent by vertex v in total.
+	PerNodeBits []int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Decisions holds each vertex's final decision.
+	Decisions []Decision
+	// Stats holds communication measurements.
+	Stats Stats
+	// Transcript is non-nil when Config.RecordTranscript was set.
+	Transcript *Transcript
+}
+
+// Rejected reports whether at least one node rejected — the "H detected"
+// outcome under Definition 1.
+func (r *Result) Rejected() bool {
+	for _, d := range r.Decisions {
+		if d == Reject {
+			return true
+		}
+	}
+	return false
+}
+
+// Transcript records all messages of a run in delivery order.
+type Transcript struct {
+	// Rounds[r] lists the messages sent in round r+1, sorted by
+	// (sender vertex, recipient vertex, emission order).
+	Rounds [][]Message
+}
+
+// Run executes factory-created nodes on the network under cfg.
+//
+// The factory is invoked once per vertex, in vertex order, and must return
+// a fresh Node each time. Run returns an error if the algorithm violates
+// the model (bandwidth exceeded, send to non-neighbor or ambiguous
+// duplicate ID, send during Init).
+func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
+	if cfg.MaxRounds <= 0 {
+		return nil, fmt.Errorf("congest: MaxRounds must be positive, got %d", cfg.MaxRounds)
+	}
+	n := nw.N()
+	envs := make([]*Env, n)
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		ids := make([]NodeID, 0, nw.G.Degree(v))
+		vs := make([]int, 0, nw.G.Degree(v))
+		for _, w := range nw.G.Neighbors(v) {
+			ids = append(ids, nw.ids[w])
+			vs = append(vs, int(w))
+		}
+		sort.Sort(&idVertexSort{ids, vs})
+		envs[v] = &Env{
+			id:        nw.ids[v],
+			n:         n,
+			b:         cfg.B,
+			neighbors: ids,
+			rng:       rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(v)))),
+			broadcast: cfg.Broadcast,
+		}
+		envs[v].nbrVs = vs
+		nodes[v] = factory()
+	}
+
+	for v := 0; v < n; v++ {
+		envs[v].round = 0
+		nodes[v].Init(envs[v])
+		if len(envs[v].out) > 0 {
+			return nil, fmt.Errorf("congest: node %d sent during Init", nw.ids[v])
+		}
+		if envs[v].err != nil {
+			return nil, envs[v].err
+		}
+	}
+
+	stats := Stats{PerNodeBits: make([]int64, n)}
+	var transcript *Transcript
+	if cfg.RecordTranscript {
+		transcript = &Transcript{}
+	}
+	inboxes := make([][]Message, n)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		// Check for global halt.
+		allHalted := true
+		for v := 0; v < n; v++ {
+			if !envs[v].halted {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			break
+		}
+
+		step := func(v int) {
+			env := envs[v]
+			if env.halted {
+				return
+			}
+			env.round = round
+			inbox := inboxes[v]
+			nodes[v].Round(env, inbox)
+		}
+		if cfg.Parallel && n > 1 {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo, hi := w*chunk, (w+1)*chunk
+				if lo >= n {
+					break
+				}
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						step(v)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for v := 0; v < n; v++ {
+				step(v)
+			}
+		}
+		stats.Rounds = round
+
+		// Collect, validate and deliver (sequential, deterministic).
+		next := make([][]Message, n)
+		var roundBits int64
+		edgeBits := make(map[[2]int]int)
+		var roundLog []Message
+		for v := 0; v < n; v++ {
+			env := envs[v]
+			if env.err != nil {
+				return nil, env.err
+			}
+			for _, m := range env.out {
+				toV := m.toV
+				bits := m.msg.Payload.Len()
+				key := [2]int{v, toV}
+				edgeBits[key] += bits
+				if cfg.B > 0 && edgeBits[key] > cfg.B {
+					return nil, fmt.Errorf(
+						"congest: bandwidth violation in round %d: node %d sent %d bits to %d (B=%d)",
+						round, env.id, edgeBits[key], nw.ids[toV], cfg.B)
+				}
+				roundBits += int64(bits)
+				stats.TotalMessages++
+				stats.PerNodeBits[v] += int64(bits)
+				if edgeBits[key] > stats.MaxEdgeBitsRound {
+					stats.MaxEdgeBitsRound = edgeBits[key]
+				}
+				next[toV] = append(next[toV], m.msg)
+				if transcript != nil {
+					roundLog = append(roundLog, m.msg)
+				}
+			}
+			env.out = env.out[:0]
+		}
+		stats.TotalBits += roundBits
+		stats.PerRoundBits = append(stats.PerRoundBits, roundBits)
+		if transcript != nil {
+			transcript.Rounds = append(transcript.Rounds, roundLog)
+		}
+		// Sort each inbox by sender ID (stable: per-sender order preserved
+		// because vertices were scanned in index order above).
+		for v := range next {
+			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		}
+		inboxes = next
+	}
+
+	res := &Result{
+		Decisions:  make([]Decision, n),
+		Stats:      stats,
+		Transcript: transcript,
+	}
+	for v := 0; v < n; v++ {
+		res.Decisions[v] = envs[v].decision
+	}
+	return res, nil
+}
+
+// mixSeed decorrelates per-node RNG seeds with a splitmix64 finalizer:
+// math/rand sources seeded with consecutive integers produce visibly
+// correlated leading outputs, which would skew color-coding draws.
+func mixSeed(seed, v int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(v) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+type idVertexSort struct {
+	ids []NodeID
+	vs  []int
+}
+
+func (s *idVertexSort) Len() int { return len(s.ids) }
+func (s *idVertexSort) Less(i, j int) bool {
+	if s.ids[i] != s.ids[j] {
+		return s.ids[i] < s.ids[j]
+	}
+	return s.vs[i] < s.vs[j]
+}
+func (s *idVertexSort) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.vs[i], s.vs[j] = s.vs[j], s.vs[i]
+}

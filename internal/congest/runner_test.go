@@ -1,0 +1,515 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// floodNode floods the minimum identifier seen so far; a standard leader
+// election building block that exercises broadcast, state and halting.
+type floodNode struct {
+	min    NodeID
+	rounds int
+}
+
+func (f *floodNode) Init(env *Env) { f.min = env.ID() }
+
+func (f *floodNode) Round(env *Env, inbox []Message) {
+	for _, m := range inbox {
+		r := bitio.NewReader(m.Payload)
+		v, ok := r.ReadUint(32)
+		if !ok {
+			panic("flood: malformed payload")
+		}
+		if NodeID(v) < f.min {
+			f.min = NodeID(v)
+		}
+	}
+	f.rounds++
+	if f.rounds > env.N() {
+		if f.min != 0 {
+			env.Reject()
+		}
+		env.Halt()
+		return
+	}
+	env.Broadcast(bitio.Uint(uint64(f.min), 32))
+}
+
+func TestFloodFindsMinimum(t *testing.T) {
+	g := graph.Cycle(10)
+	nw := NewNetwork(g)
+	res, err := Run(nw, func() Node { return &floodNode{} }, Config{B: 64, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected() {
+		t.Fatal("flood rejected despite min id 0 present")
+	}
+	if res.Stats.Rounds == 0 || res.Stats.TotalBits == 0 {
+		t.Fatalf("stats empty: %+v", res.Stats)
+	}
+}
+
+func TestFloodOnShiftedIDs(t *testing.T) {
+	g := graph.Cycle(6)
+	ids := []NodeID{5, 9, 12, 7, 30, 44} // no id 0 → everyone rejects
+	nw := NewNetworkWithIDs(g, ids)
+	res, err := Run(nw, func() Node { return &floodNode{} }, Config{B: 64, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected() {
+		t.Fatal("expected rejection with min id 5")
+	}
+}
+
+func TestBandwidthViolationDetected(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			env.Broadcast(bitio.Uint(0, 10)) // 10 bits on a B=8 edge
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 3})
+	if err == nil || !strings.Contains(err.Error(), "bandwidth violation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBandwidthAccumulatesWithinRound(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			// Two 5-bit messages on the same edge in one round: 10 > 8.
+			for i := 0; i < 2; i++ {
+				env.Send(env.Neighbors()[0], bitio.Uint(1, 5))
+			}
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2})
+	if err == nil || !strings.Contains(err.Error(), "bandwidth violation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnboundedBandwidthLocalModel(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			env.Broadcast(bitio.FromBytes(make([]byte, 10000)))
+			env.Halt()
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 0, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalBits != 2*80000 {
+		t.Fatalf("total bits %d", res.Stats.TotalBits)
+	}
+}
+
+func TestSendToNonNeighborFails(t *testing.T) {
+	g := graph.Path(3) // 0-1-2: 0 and 2 not adjacent
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.ID() == 0 {
+				env.Send(2, bitio.Uint(1, 1))
+			}
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2})
+	if err == nil || !strings.Contains(err.Error(), "non-neighbor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendDuringInitFails(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnInit: func(env *Env) {
+			env.Send(env.Neighbors()[0], bitio.Uint(1, 1))
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2})
+	if err == nil || !strings.Contains(err.Error(), "Init") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBroadcastModeForbidsSend(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			env.Send(env.Neighbors()[0], bitio.Uint(1, 1))
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2, Broadcast: true})
+	if err == nil || !strings.Contains(err.Error(), "broadcast") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMessageDeliveryNextRound(t *testing.T) {
+	// Node 0 sends its round number; node 1 verifies it arrives one round
+	// later.
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	var got []int
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.ID() == 0 {
+				env.Send(1, bitio.Uint(uint64(env.Round()), 8))
+			} else {
+				for _, m := range inbox {
+					r := bitio.NewReader(m.Payload)
+					v, _ := r.ReadUint(8)
+					got = append(got, env.Round()-int(v))
+				}
+			}
+		}}
+	}
+	if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("deliveries: %d", len(got))
+	}
+	for _, lag := range got {
+		if lag != 1 {
+			t.Fatalf("delivery lag %d, want 1", lag)
+		}
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	g := graph.Star(5) // center 0
+	ids := []NodeID{100, 42, 7, 99, 3, 55}
+	nw := NewNetworkWithIDs(g, ids)
+	ok := true
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			for i := 1; i < len(inbox); i++ {
+				if inbox[i-1].From > inbox[i].From {
+					ok = false
+				}
+			}
+			env.Broadcast(bitio.Uint(1, 1))
+		}}
+	}
+	if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("inbox not sorted by sender id")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	g := graph.Cycle(4)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.Round() == 2 {
+				env.Halt()
+			}
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 8, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run stops once all nodes have halted; Rounds reflects the last
+	// round in which any node executed.
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("rounds = %d", res.Stats.Rounds)
+	}
+}
+
+func TestHaltedNodeReceivesNothingMore(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	roundsSeen := map[NodeID]int{}
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			roundsSeen[env.ID()]++
+			if env.ID() == 0 {
+				env.Halt()
+			}
+			if env.Round() == 3 {
+				env.Halt()
+			}
+		}}
+	}
+	if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if roundsSeen[0] != 1 {
+		t.Fatalf("halted node ran %d rounds", roundsSeen[0])
+	}
+	if roundsSeen[1] != 3 {
+		t.Fatalf("other node ran %d rounds", roundsSeen[1])
+	}
+}
+
+func TestDecisionLatch(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			env.Reject()
+			env.Accept() // must not clear the reject
+			env.Halt()
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 8, MaxRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range res.Decisions {
+		if d != Reject {
+			t.Fatalf("vertex %d decision %v", v, d)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	g := graph.Cycle(5)
+	run := func(parallel bool) []uint64 {
+		nw := NewNetwork(g)
+		out := make([]uint64, g.N())
+		factory := func() Node {
+			return &FuncNode{OnRound: func(env *Env, _ []Message) {
+				out[int(env.ID())] = env.Rand().Uint64()
+				env.Halt()
+			}}
+		}
+		if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 2, Seed: 42, Parallel: parallel}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rng diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTranscriptRecording(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.Round() <= 2 {
+				env.Broadcast(bitio.Uint(uint64(env.Round()), 4))
+			} else {
+				env.Halt()
+			}
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 8, MaxRounds: 10, RecordTranscript: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transcript == nil {
+		t.Fatal("no transcript")
+	}
+	if len(res.Transcript.Rounds[0]) != 2 {
+		t.Fatalf("round 1 has %d messages", len(res.Transcript.Rounds[0]))
+	}
+}
+
+func TestDuplicateIDNetwork(t *testing.T) {
+	g := graph.Star(2) // center 0, leaves 1, 2
+	ids := []NodeID{9, 5, 5}
+	nw := NewNetworkWithDuplicateIDs(g, ids)
+	// Sending by duplicate ID must fail; SendPort must work.
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.ID() == 9 {
+				env.Send(5, bitio.Uint(1, 1))
+			}
+		}}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+
+	received := 0
+	factory2 := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			received += len(inbox)
+			if env.ID() == 9 && env.Round() == 1 {
+				for p := 0; p < env.Degree(); p++ {
+					env.SendPort(p, bitio.Uint(1, 1))
+				}
+			}
+			if env.Round() == 2 {
+				env.Halt()
+			}
+		}}
+	}
+	if _, err := Run(nw, factory2, Config{B: 8, MaxRounds: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if received != 2 {
+		t.Fatalf("received %d messages", received)
+	}
+}
+
+func TestDuplicateIDPanicsInStrictNetwork(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetworkWithIDs(graph.Path(2), []NodeID{1, 1})
+}
+
+func TestMaxRoundsRequired(t *testing.T) {
+	nw := NewNetwork(graph.Path(2))
+	if _, err := Run(nw, func() Node { return &FuncNode{} }, Config{B: 8}); err == nil {
+		t.Fatal("expected error for MaxRounds=0")
+	}
+}
+
+// randomTrafficNode generates pseudo-random traffic from its private RNG,
+// mixing broadcasts, unicast and halts — the workload for the engine
+// equivalence property test.
+type randomTrafficNode struct {
+	acc uint64
+}
+
+func (r *randomTrafficNode) Init(env *Env) {}
+
+func (r *randomTrafficNode) Round(env *Env, inbox []Message) {
+	for _, m := range inbox {
+		rd := bitio.NewReader(m.Payload)
+		v, _ := rd.ReadUint(16)
+		r.acc = r.acc*31 + v + uint64(m.From)
+	}
+	switch env.Rand().Intn(4) {
+	case 0:
+		env.Broadcast(bitio.Uint(uint64(env.Rand().Intn(1<<16)), 16))
+	case 1:
+		if env.Degree() > 0 {
+			nb := env.Neighbors()[env.Rand().Intn(env.Degree())]
+			env.Send(nb, bitio.Uint(uint64(env.Rand().Intn(1<<16)), 16))
+		}
+	case 2:
+		if r.acc%7 == 0 {
+			env.Reject()
+		}
+	case 3:
+		if env.Round() > 3 && env.Rand().Intn(3) == 0 {
+			env.Halt()
+		}
+	}
+}
+
+// fingerprint reduces a run to a comparable summary.
+func fingerprint(res *Result) string {
+	var sb strings.Builder
+	for _, d := range res.Decisions {
+		sb.WriteString(d.String()[:1])
+	}
+	fmt.Fprintf(&sb, "|r=%d|bits=%d|msgs=%d|max=%d",
+		res.Stats.Rounds, res.Stats.TotalBits, res.Stats.TotalMessages, res.Stats.MaxEdgeBitsRound)
+	for _, m := range flatten(res.Transcript) {
+		fmt.Fprintf(&sb, "|%d>%d:%s", m.From, m.To, m.Payload.String())
+	}
+	return sb.String()
+}
+
+func flatten(tr *Transcript) []Message {
+	var out []Message
+	if tr == nil {
+		return nil
+	}
+	for _, r := range tr.Rounds {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Property: the sequential and parallel engines produce bit-identical
+// executions on random graphs with random traffic.
+func TestQuickEngineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(12, 0.3, rng)
+		run := func(parallel bool) string {
+			nw := NewNetwork(g)
+			res, err := Run(nw, func() Node { return &randomTrafficNode{} },
+				Config{B: 64, MaxRounds: 12, Seed: seed, Parallel: parallel, Workers: 4, RecordTranscript: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fingerprint(res)
+		}
+		return run(false) == run(true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PerRoundBits sums to TotalBits and PerNodeBits sums to
+// TotalBits.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(10, 0.4, rng)
+		nw := NewNetwork(g)
+		res, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 64, MaxRounds: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var sumRound, sumNode int64
+		for _, b := range res.Stats.PerRoundBits {
+			sumRound += b
+		}
+		for _, b := range res.Stats.PerNodeBits {
+			sumNode += b
+		}
+		return sumRound == res.Stats.TotalBits && sumNode == res.Stats.TotalBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkHelpers(t *testing.T) {
+	g := graph.Path(3)
+	nw := NewNetworkWithIDs(g, []NodeID{10, 20, 30})
+	if nw.Vertex(20) != 1 || nw.Vertex(99) != -1 {
+		t.Fatal("Vertex lookup broken")
+	}
+	if nw.MaxID() != 30 {
+		t.Fatalf("MaxID %d", nw.MaxID())
+	}
+	if nw.IDBits() != 5 {
+		t.Fatalf("IDBits %d", nw.IDBits())
+	}
+	nbrs := nw.NeighborIDs(1)
+	if len(nbrs) != 2 || nbrs[0] != 10 || nbrs[1] != 30 {
+		t.Fatalf("NeighborIDs %v", nbrs)
+	}
+}

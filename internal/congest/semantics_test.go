@@ -1,0 +1,138 @@
+package congest
+
+import (
+	"testing"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// Semantics pinned by these tests: messages sent in a node's final round
+// (before Halt) are still delivered; broadcast-mode messages are
+// identical across edges; per-round bandwidth resets between rounds.
+
+func TestMessagesFromHaltingNodeDelivered(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	received := false
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			switch env.ID() {
+			case 0:
+				if env.Round() == 1 {
+					env.Send(1, bitio.Uint(1, 4))
+					env.Halt() // halt immediately after sending
+				}
+			case 1:
+				if len(inbox) > 0 {
+					received = true
+					env.Halt()
+				}
+			}
+		}}
+	}
+	if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !received {
+		t.Fatal("message from halting node lost")
+	}
+}
+
+func TestBandwidthResetsBetweenRounds(t *testing.T) {
+	// B bits every round is fine; the limit is per round, not cumulative.
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.Round() > 10 {
+				env.Halt()
+				return
+			}
+			env.Broadcast(bitio.Uint(0, 8))
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 8, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalBits != 2*10*8 {
+		t.Fatalf("total bits %d", res.Stats.TotalBits)
+	}
+}
+
+func TestBroadcastModeRuns(t *testing.T) {
+	g := graph.Cycle(5)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.Round() > 3 {
+				env.Halt()
+				return
+			}
+			env.Broadcast(bitio.Uint(uint64(env.Round()), 4))
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 4, MaxRounds: 10, Broadcast: true, RecordTranscript: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In broadcast mode each node's per-round messages carry one payload.
+	for _, round := range res.Transcript.Rounds {
+		byFrom := map[NodeID]string{}
+		for _, m := range round {
+			if prev, ok := byFrom[m.From]; ok && prev != m.Payload.String() {
+				t.Fatal("broadcast round carried differing payloads")
+			}
+			byFrom[m.From] = m.Payload.String()
+		}
+	}
+}
+
+func TestRejectThenHaltKeepsDecision(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			env.Reject()
+			env.Halt()
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 4, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected() {
+		t.Fatal("reject lost at halt")
+	}
+}
+
+func TestEmptyPayloadMessagesCostNothing(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.Round() == 1 {
+				env.Broadcast(bitio.BitString{})
+				return
+			}
+			if env.ID() == 1 && len(inbox) != 1 {
+				env.Reject()
+			}
+			env.Halt()
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 1, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected() {
+		t.Fatal("empty message not delivered")
+	}
+	if res.Stats.TotalBits != 0 {
+		t.Fatalf("empty payloads billed %d bits", res.Stats.TotalBits)
+	}
+	if res.Stats.TotalMessages != 2 { // two nodes, one neighbor each
+		t.Fatalf("message count %d", res.Stats.TotalMessages)
+	}
+}

@@ -1,0 +1,230 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Split execution: the literal two-party simulation of Theorem 1.2's
+// proof. Alice and Bob each hold their OWN copies of the node programs —
+// Alice instantiates and steps the nodes she owns plus the shared ones,
+// Bob likewise — and the only information that moves between the players
+// is the messages crossing from a private vertex to a vertex the other
+// player simulates. Shared vertices are simulated twice; because their
+// programs are deterministic given the run seed, the two copies must stay
+// in lockstep, and the runner verifies this every round (any divergence
+// would mean the simulation argument leaks hidden state).
+//
+// RunSplit's cost accounting is therefore not an after-the-fact transcript
+// measurement (comm.SimulateTwoParty does that) but the actual number of
+// bits the two players hand each other; the comm package property-tests
+// that the two accountings agree.
+
+// SplitRole assigns a vertex to a player.
+type SplitRole int8
+
+const (
+	// SplitAlice marks a vertex private to Alice.
+	SplitAlice SplitRole = iota
+	// SplitBob marks a vertex private to Bob.
+	SplitBob
+	// SplitShared marks a vertex simulated by both players.
+	SplitShared
+)
+
+// SplitResult reports a split execution.
+type SplitResult struct {
+	// Decisions holds each vertex's final decision, read from its owning
+	// player's copy (Alice's copy for shared vertices; they agree).
+	Decisions []Decision
+	// BitsExchanged is the total player-to-player traffic in bits.
+	BitsExchanged int64
+	// PerRoundBits breaks it down by round.
+	PerRoundBits []int64
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// SharedConsistent reports that every shared vertex's two copies
+	// emitted identical messages in every round (verified, not assumed).
+	SharedConsistent bool
+}
+
+// Rejected reports whether some node rejected.
+func (r *SplitResult) Rejected() bool {
+	for _, d := range r.Decisions {
+		if d == Reject {
+			return true
+		}
+	}
+	return false
+}
+
+// splitPlayer is one side's private simulation state.
+type splitPlayer struct {
+	who      SplitRole // SplitAlice or SplitBob
+	simulate []bool    // vertices this player steps
+	envs     []*Env
+	nodes    []Node
+	inboxes  [][]Message
+}
+
+// RunSplit executes the algorithm as two synchronized players.
+func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (*SplitResult, error) {
+	n := nw.N()
+	if len(owner) != n {
+		return nil, fmt.Errorf("congest: owner covers %d of %d vertices", len(owner), n)
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, fmt.Errorf("congest: MaxRounds must be positive")
+	}
+
+	mkPlayer := func(who SplitRole) *splitPlayer {
+		p := &splitPlayer{
+			who:      who,
+			simulate: make([]bool, n),
+			envs:     make([]*Env, n),
+			nodes:    make([]Node, n),
+			inboxes:  make([][]Message, n),
+		}
+		for v := 0; v < n; v++ {
+			if owner[v] != who && owner[v] != SplitShared {
+				continue
+			}
+			p.simulate[v] = true
+			ids := make([]NodeID, 0, nw.G.Degree(v))
+			vs := make([]int, 0, nw.G.Degree(v))
+			for _, w := range nw.G.Neighbors(v) {
+				ids = append(ids, nw.ids[w])
+				vs = append(vs, int(w))
+			}
+			sort.Sort(&idVertexSort{ids, vs})
+			p.envs[v] = &Env{
+				id:        nw.ids[v],
+				n:         n,
+				b:         cfg.B,
+				neighbors: ids,
+				rng:       rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(v)))),
+				broadcast: cfg.Broadcast,
+			}
+			p.envs[v].nbrVs = vs
+			p.nodes[v] = factory()
+			p.nodes[v].Init(p.envs[v])
+			if p.envs[v].err != nil {
+				return nil
+			}
+		}
+		return p
+	}
+	alice := mkPlayer(SplitAlice)
+	bob := mkPlayer(SplitBob)
+	if alice == nil || bob == nil {
+		return nil, fmt.Errorf("congest: node failed during Init")
+	}
+	players := []*splitPlayer{alice, bob}
+
+	res := &SplitResult{SharedConsistent: true}
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		allHalted := true
+		for _, p := range players {
+			for v := 0; v < n; v++ {
+				if p.simulate[v] && !p.envs[v].halted {
+					allHalted = false
+				}
+			}
+		}
+		if allHalted {
+			break
+		}
+		// Step every simulated copy.
+		for _, p := range players {
+			for v := 0; v < n; v++ {
+				if !p.simulate[v] || p.envs[v].halted {
+					continue
+				}
+				p.envs[v].round = round
+				p.nodes[v].Round(p.envs[v], p.inboxes[v])
+				if p.envs[v].err != nil {
+					return nil, p.envs[v].err
+				}
+			}
+		}
+		res.Rounds = round
+
+		// Verify shared copies agree, byte for byte.
+		for v := 0; v < n; v++ {
+			if owner[v] != SplitShared {
+				continue
+			}
+			oa, ob := alice.envs[v].out, bob.envs[v].out
+			if len(oa) != len(ob) {
+				res.SharedConsistent = false
+			} else {
+				for i := range oa {
+					if oa[i].toV != ob[i].toV || !oa[i].msg.Payload.Equal(ob[i].msg.Payload) {
+						res.SharedConsistent = false
+					}
+				}
+			}
+			if alice.envs[v].decision != bob.envs[v].decision ||
+				alice.envs[v].halted != bob.envs[v].halted {
+				res.SharedConsistent = false
+			}
+		}
+
+		// Deliver. For each player's emitted messages:
+		//   • deliver locally to every target the SAME player simulates;
+		//   • if the sender is PRIVATE to this player and the target is
+		//     simulated by the other player, hand it across (count bits).
+		// Shared senders' messages are computed by both players, so they
+		// never cross (each player already has them); deliver them only
+		// from each player's own copy to its own targets.
+		next := map[*splitPlayer][][]Message{
+			alice: make([][]Message, n),
+			bob:   make([][]Message, n),
+		}
+		var crossBits int64
+		for _, p := range players {
+			other := alice
+			if p == alice {
+				other = bob
+			}
+			for v := 0; v < n; v++ {
+				if !p.simulate[v] {
+					continue
+				}
+				isPrivateSender := owner[v] == p.who
+				for _, m := range p.envs[v].out {
+					if p.simulate[m.toV] {
+						next[p][m.toV] = append(next[p][m.toV], m.msg)
+					}
+					if isPrivateSender && other.simulate[m.toV] {
+						crossBits += int64(m.msg.Payload.Len())
+						next[other][m.toV] = append(next[other][m.toV], m.msg)
+					}
+				}
+				p.envs[v].out = p.envs[v].out[:0]
+			}
+		}
+		res.BitsExchanged += crossBits
+		res.PerRoundBits = append(res.PerRoundBits, crossBits)
+		for _, p := range players {
+			for v := range next[p] {
+				sort.SliceStable(next[p][v], func(i, j int) bool {
+					return next[p][v][i].From < next[p][v][j].From
+				})
+			}
+			p.inboxes = next[p]
+		}
+	}
+
+	res.Decisions = make([]Decision, n)
+	for v := 0; v < n; v++ {
+		switch owner[v] {
+		case SplitBob:
+			res.Decisions[v] = bob.envs[v].decision
+		default:
+			res.Decisions[v] = alice.envs[v].decision
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+func randomOwner(n int, rng *rand.Rand) []SplitRole {
+	owner := make([]SplitRole, n)
+	for i := range owner {
+		owner[i] = SplitRole(rng.Intn(3))
+	}
+	return owner
+}
+
+// Property: the split (two-player) execution reproduces the monolithic
+// run exactly — same decisions, same rounds — and its shared copies never
+// diverge, on random graphs, random partitions and random traffic.
+func TestQuickSplitMatchesRun(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(12, 0.3, rng)
+		nw := NewNetwork(g)
+		owner := randomOwner(g.N(), rng)
+		cfg := Config{B: 64, MaxRounds: 10, Seed: seed}
+
+		mono, err := Run(nw, func() Node { return &randomTrafficNode{} }, cfg)
+		if err != nil {
+			return false
+		}
+		split, err := RunSplit(nw, owner, func() Node { return &randomTrafficNode{} }, cfg)
+		if err != nil {
+			return false
+		}
+		if !split.SharedConsistent {
+			return false
+		}
+		if split.Rounds != mono.Stats.Rounds {
+			return false
+		}
+		for v := range mono.Decisions {
+			if mono.Decisions[v] != split.Decisions[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCrossingBitsExact(t *testing.T) {
+	// Path 0-1-2 with Alice{0}, Shared{1}, Bob{2}: node 0's per-round
+	// 8-bit message to 1 crosses (Bob simulates 1); node 2's 4-bit
+	// message to 1 crosses (Alice simulates 1); node 1's replies are
+	// shared-sender messages and must NOT cross.
+	nw := NewNetwork(graph.Path(3))
+	owner := []SplitRole{SplitAlice, SplitShared, SplitBob}
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, _ []Message) {
+			if env.Round() > 3 {
+				env.Halt()
+				return
+			}
+			switch env.ID() {
+			case 0:
+				env.Send(1, bitio.Uint(0, 8))
+			case 1:
+				env.Broadcast(bitio.Uint(0, 2))
+			case 2:
+				env.Send(1, bitio.Uint(0, 4))
+			}
+		}}
+	}
+	res, err := RunSplit(nw, owner, factory, Config{B: 16, MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsExchanged != 3*(8+4) {
+		t.Fatalf("bits exchanged %d want 36", res.BitsExchanged)
+	}
+	if !res.SharedConsistent {
+		t.Fatal("shared copy diverged")
+	}
+}
+
+func TestSplitAllShared(t *testing.T) {
+	// Everything shared: zero communication, both players replay the
+	// whole run.
+	nw := NewNetwork(graph.Cycle(6))
+	owner := make([]SplitRole, 6)
+	for i := range owner {
+		owner[i] = SplitShared
+	}
+	res, err := RunSplit(nw, owner, func() Node { return &floodNode{} }, Config{B: 64, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsExchanged != 0 {
+		t.Fatalf("shared-only run exchanged %d bits", res.BitsExchanged)
+	}
+	if !res.SharedConsistent {
+		t.Fatal("divergence in fully shared run")
+	}
+}
+
+func TestSplitFloodAcrossCut(t *testing.T) {
+	// Flooding the minimum ID works across the split: Bob holds vertex 0
+	// (the minimum), Alice must still converge to accepting.
+	g := graph.Cycle(8)
+	nw := NewNetwork(g)
+	owner := make([]SplitRole, 8)
+	for i := range owner {
+		if i%2 == 0 {
+			owner[i] = SplitBob
+		} else {
+			owner[i] = SplitAlice
+		}
+	}
+	res, err := RunSplit(nw, owner, func() Node { return &floodNode{} }, Config{B: 64, MaxRounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected() {
+		t.Fatal("flood rejected despite id 0 present")
+	}
+	if res.BitsExchanged == 0 {
+		t.Fatal("alternating partition exchanged nothing")
+	}
+}
+
+func TestSplitBadOwner(t *testing.T) {
+	nw := NewNetwork(graph.Path(3))
+	if _, err := RunSplit(nw, []SplitRole{SplitAlice}, func() Node { return &FuncNode{} }, Config{B: 8, MaxRounds: 2}); err == nil {
+		t.Fatal("short owner accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"subgraph/internal/comm"
+	"subgraph/internal/graph"
+	"subgraph/internal/lower"
+)
+
+// E2Row is one point of the Theorem 1.2 construction/reduction experiment.
+type E2Row struct {
+	K, NInput int
+	// GraphN, GraphM, Diameter, Cut are the measured Property 1 /
+	// Figure 2 quantities.
+	GraphN, GraphM, Diameter, Cut int
+	// Correct reports whether the reduction's answer matched the
+	// disjointness ground truth on this instance.
+	Correct bool
+	// Rounds and BitsExchanged are the measured simulation cost of the
+	// edge-collection detector.
+	Rounds        int
+	BitsExchanged int64
+	// ImpliedRoundLB is Ω(n²)/(2·cut·B): the round bound Theorem 1.2
+	// forces at this (n, k, B) on worst-case instances.
+	ImpliedRoundLB float64
+}
+
+// E2LowerBoundFamily builds G_{k,n} across an n sweep, verifies the
+// structural claims, and runs the disjointness reduction end to end.
+func E2LowerBoundFamily(k int, ns []int, seed int64) []E2Row {
+	rows := make([]E2Row, 0, len(ns))
+	for i, n := range ns {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		inst := comm.RandomDisjointness(n, 1.5/float64(n), i%2 == 0, rng)
+		rep, err := lower.RunReduction(k, inst, seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, E2Row{
+			K: k, NInput: n,
+			GraphN:         rep.GraphN,
+			GraphM:         rep.GraphM,
+			Diameter:       rep.Diameter,
+			Cut:            rep.Cut,
+			Correct:        rep.Detected == rep.Intersects,
+			Rounds:         rep.Rounds,
+			BitsExchanged:  rep.BitsExchanged,
+			ImpliedRoundLB: rep.ImpliedRoundLB,
+		})
+	}
+	return rows
+}
+
+// FormatE2 renders the experiment table.
+func FormatE2(rows []E2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2: H_k-freeness lower-bound family G_{k,%s} (Theorem 1.2, Figures 1-2)\n", "n")
+	fmt.Fprintf(&b, "%4s %6s %8s %8s %6s %8s %8s %10s %14s %12s\n",
+		"k", "n", "|V|", "|E|", "diam", "cut", "correct", "rounds", "bits", "impliedLB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %6d %8d %8d %6d %8d %8v %10d %14d %12.4f\n",
+			r.K, r.NInput, r.GraphN, r.GraphM, r.Diameter, r.Cut,
+			r.Correct, r.Rounds, r.BitsExchanged, r.ImpliedRoundLB)
+	}
+	b.WriteString("claims: diameter = 3, |V| = O(n), cut = 6m+8 = Θ(k·n^{1/k}), answers correct\n")
+	return b.String()
+}
+
+// E3Row is one point of the Section 3.4 bipartite-variant experiment.
+type E3Row struct {
+	K, NInput                     int
+	GraphN, GraphM, Diameter, Cut int
+	Bipartite                     bool
+	PlantedOK                     bool
+	Rounds                        int
+	BitsExchanged                 int64
+	Detected, Intersects          bool
+}
+
+// E3BipartiteFamily builds the bipartite variant across an n sweep and
+// runs the same reduction measurements (see DESIGN.md §4.4 for the
+// gadget substitution).
+func E3BipartiteFamily(k int, ns []int, seed int64) []E3Row {
+	rows := make([]E3Row, 0, len(ns))
+	for i, n := range ns {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		inst := comm.RandomDisjointness(n, 1.5/float64(n), i%2 == 0, rng)
+		h := lower.BuildBipartiteHk(k, n)
+		g := lower.BuildBipartiteGkn(k, inst)
+		bip, _ := g.G.IsBipartite()
+		plantedOK := true
+		if inst.Intersects() {
+			phi := g.PlantedEmbedding(h)
+			plantedOK = phi != nil && graph.VerifyEmbedding(h.G, g.G, phi)
+		}
+		sim, err := lower.RunBipartiteReduction(h, g, seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, E3Row{
+			K: k, NInput: n,
+			GraphN:        g.G.N(),
+			GraphM:        g.G.M(),
+			Diameter:      g.G.Diameter(),
+			Cut:           sim.Cut,
+			Bipartite:     bip,
+			PlantedOK:     plantedOK,
+			Rounds:        sim.Rounds,
+			BitsExchanged: sim.BitsExchanged,
+			Detected:      sim.Rejected,
+			Intersects:    inst.Intersects(),
+		})
+	}
+	return rows
+}
+
+// FormatE3 renders the experiment table.
+func FormatE3(rows []E3Row) string {
+	var b strings.Builder
+	b.WriteString("E3: bipartite variant H'_k (Section 3.4; simplified gadget, DESIGN.md §4.4)\n")
+	fmt.Fprintf(&b, "%4s %6s %8s %8s %6s %8s %10s %10s %10s %12s\n",
+		"k", "n", "|V|", "|E|", "diam", "cut", "bipartite", "planted", "correct", "bits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %6d %8d %8d %6d %8d %10v %10v %10v %12d\n",
+			r.K, r.NInput, r.GraphN, r.GraphM, r.Diameter, r.Cut,
+			r.Bipartite, r.PlantedOK, r.Detected == r.Intersects, r.BitsExchanged)
+	}
+	return b.String()
+}

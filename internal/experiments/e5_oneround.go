@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"subgraph/internal/lower"
+)
+
+// E5Row is one point of the Theorem 5.1 one-round bandwidth experiment.
+type E5Row struct {
+	N        int
+	Protocol string
+	// MessageBits is the protocol's bandwidth B.
+	MessageBits int
+	// BOverN is B/n, the scale at which Theorem 5.1 places the threshold.
+	BOverN float64
+	// ErrorRate / MissRate / FalseReject are measured under µ.
+	ErrorRate, MissRate, FalseReject float64
+	// MIAccept estimates I(X_bc; acc_a | X_ab=X_ac=1); MIUpper is the
+	// Lemma 5.4 bound for this protocol; MIBias bounds the estimator's
+	// own bias (readings below it are statistically zero).
+	MIAccept, MIUpper, MIBias float64
+}
+
+// E5OneRound evaluates one-round protocols of increasing bandwidth on the
+// Figure 3 template: the silent baseline, coordinate-sampling at several
+// rates, and the full-information protocol.
+func E5OneRound(n, samples int, seed int64) []E5Row {
+	idBits := int(math.Ceil(3 * math.Log2(float64(n))))
+	if idBits < 4 {
+		idBits = 4
+	}
+	protos := []lower.OneRoundProtocol{
+		lower.SilentProtocol{},
+		&lower.SamplingProtocol{K: 1, IDBits: idBits},
+		&lower.SamplingProtocol{K: n / 8, IDBits: idBits},
+		&lower.SamplingProtocol{K: n / 2, IDBits: idBits},
+		lower.FullInformationProtocol(n, idBits),
+	}
+	rows := make([]E5Row, 0, len(protos))
+	for _, p := range protos {
+		res := lower.EvaluateOneRound(p, n, samples, seed)
+		rows = append(rows, E5Row{
+			N:           n,
+			Protocol:    res.Protocol,
+			MessageBits: res.MessageBits,
+			BOverN:      float64(res.MessageBits) / float64(n),
+			ErrorRate:   res.ErrorRate,
+			MissRate:    res.MissRate,
+			FalseReject: res.FalseReject,
+			MIAccept:    res.MIAccept,
+			MIUpper:     res.MIUpper,
+			MIBias:      res.MIBias,
+		})
+	}
+	return rows
+}
+
+// E5CapRow is one point of the Lemma 5.4 binding-regime experiment: for
+// a fixed 1-sample protocol, sweep n upward until the information cap
+// 8B/(n+1) + 2/n drops below one bit and verify the measured information
+// stays under it.
+type E5CapRow struct {
+	N           int
+	MessageBits int
+	MIAccept    float64
+	MIUpper     float64
+	Binding     bool // cap < 1 bit, i.e. the lemma constrains the protocol
+	WithinCap   bool
+}
+
+// E5Lemma54Binding sweeps n for the K=1 sampling protocol.
+func E5Lemma54Binding(ns []int, samples int, seed int64) []E5CapRow {
+	rows := make([]E5CapRow, 0, len(ns))
+	for _, n := range ns {
+		idBits := int(math.Ceil(3 * math.Log2(float64(n))))
+		res := lower.EvaluateOneRound(&lower.SamplingProtocol{K: 1, IDBits: idBits}, n, samples, seed)
+		rows = append(rows, E5CapRow{
+			N:           n,
+			MessageBits: res.MessageBits,
+			MIAccept:    res.MIAccept,
+			MIUpper:     res.MIUpper,
+			Binding:     res.MIUpper < 1,
+			WithinCap:   res.MIAccept <= res.MIUpper+0.05,
+		})
+	}
+	return rows
+}
+
+// FormatE5Cap renders the binding-regime table.
+func FormatE5Cap(rows []E5CapRow) string {
+	var b strings.Builder
+	b.WriteString("E5b: Lemma 5.4 information cap vs n for the 1-sample protocol\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %9s %10s\n", "n", "B(bits)", "MI(acc)", "cap", "binding", "within")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10d %10.4f %10.4f %9v %10v\n",
+			r.N, r.MessageBits, r.MIAccept, r.MIUpper, r.Binding, r.WithinCap)
+	}
+	b.WriteString("claim: once the cap 8B/(n+1)+2/n sinks below 1 bit it still dominates the measured MI\n")
+	return b.String()
+}
+
+// FormatE5 renders the experiment table.
+func FormatE5(rows []E5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E5: one-round triangle detection on G_T, n=%d (Theorem 5.1, Figure 3)\n", rows[0].N)
+	fmt.Fprintf(&b, "%-14s %10s %8s %9s %9s %10s %9s %9s %9s\n",
+		"protocol", "B(bits)", "B/n", "error", "miss", "falseRej", "MI(acc)", "MI-cap", "MI-bias")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %8.2f %9.4f %9.4f %10.4f %9.4f %9.4f %9.4f\n",
+			r.Protocol, r.MessageBits, r.BOverN, r.ErrorRate, r.MissRate,
+			r.FalseReject, r.MIAccept, r.MIUpper, r.MIBias)
+	}
+	b.WriteString("claims: error stays ≈ 1/8 until B = Ω(n); low-error protocols show MI ≥ 0.3 (Lemma 5.3);\n")
+	b.WriteString("        measured MI never exceeds the Lemma 5.4 cap 8B/(n+1) + 2/n for low-B protocols\n")
+	return b.String()
+}

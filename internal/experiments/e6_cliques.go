@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"subgraph/internal/cclique"
+	"subgraph/internal/graph"
+)
+
+// E6CountRow is one point of the Lemma 1.3 verification: the number of
+// K_s copies against the m^{s/2} bound.
+type E6CountRow struct {
+	Family string
+	N, M   int
+	S      int
+	Count  int64
+	// Bound is m^{s/2}; Ratio = Count / Bound must stay ≤ O(1) (the
+	// lemma's constant is below 1 for all s).
+	Bound, Ratio float64
+}
+
+// E6Lemma13 counts K_s copies across graph families and compares with
+// the Lemma 1.3 bound.
+func E6Lemma13(seed int64) []E6CountRow {
+	rng := rand.New(rand.NewSource(seed))
+	type fam struct {
+		name string
+		g    *graph.Graph
+	}
+	fams := []fam{
+		{"K_20", graph.Complete(20)},
+		{"K_30", graph.Complete(30)},
+		{"GNP(40,.5)", graph.GNP(40, 0.5, rng)},
+		{"GNP(60,.3)", graph.GNP(60, 0.3, rng)},
+		{"K_{15,15}", graph.CompleteBipartite(15, 15)},
+		{"planted", plantedCliques(50, rng)},
+	}
+	var rows []E6CountRow
+	for _, f := range fams {
+		for s := 3; s <= 5; s++ {
+			count := f.g.CountCliques(s)
+			bound := graph.KsUpperBound(int64(f.g.M()), s)
+			rows = append(rows, E6CountRow{
+				Family: f.name, N: f.g.N(), M: f.g.M(), S: s,
+				Count: count, Bound: bound, Ratio: float64(count) / bound,
+			})
+		}
+	}
+	return rows
+}
+
+func plantedCliques(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.GNP(n, 0.1, rng)
+	for i := 0; i < 5; i++ {
+		g, _ = graph.PlantClique(g, 6, rng)
+	}
+	return g
+}
+
+// FormatE6Counts renders the Lemma 1.3 table.
+func FormatE6Counts(rows []E6CountRow) string {
+	var b strings.Builder
+	b.WriteString("E6a: K_s copy counts vs the Lemma 1.3 bound m^{s/2}\n")
+	fmt.Fprintf(&b, "%-12s %6s %8s %4s %12s %14s %8s\n",
+		"family", "n", "m", "s", "count", "m^{s/2}", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %8d %4d %12d %14.0f %8.4f\n",
+			r.Family, r.N, r.M, r.S, r.Count, r.Bound, r.Ratio)
+	}
+	b.WriteString("claim: ratio ≤ O(1) for every family (Lemma 1.3)\n")
+	return b.String()
+}
+
+// E6ListRow is one point of the congested-clique K_s listing experiment.
+type E6ListRow struct {
+	N, S int
+	// Rounds is the measured listing round count; Predicted is the
+	// n^{1-2/s} shape the Ω̃ lower bound matches.
+	Rounds    int
+	Predicted float64
+	// NormRounds = Rounds / n^{1-2/s}; flat values across n confirm the
+	// shape.
+	NormRounds float64
+	// Groups and Collectors echo the partition parameters; Correct
+	// verifies the listing against the centralized count.
+	Groups, Collectors int
+	Correct            bool
+	Cliques            int
+	// ImpliedLB is the executable form of the paper's Ω̃(n^{1-2/s})
+	// counting argument, evaluated on this instance (see
+	// ImpliedListingLB).
+	ImpliedLB float64
+}
+
+// ImpliedListingLB makes the paper's listing lower bound executable: by
+// Lemma 1.3 a node that knows e edges can output at most e^{s/2} copies
+// of K_s; in R rounds a node learns at most its own deg plus
+// R·(n-1)·B/(2·log2 n) edges (naming an edge costs ≥ 2·log2 n bits), so
+// listing T copies forces
+//
+//	n · (maxdeg + R(n-1)B/(2 log2 n))^{s/2} ≥ T,
+//
+// i.e. R ≥ ((T/n)^{2/s} − maxdeg) · 2·log2(n) / ((n-1)·B). On dense
+// graphs T = Θ(n^s) and B = Θ(log n) this is the Ω̃(n^{1-2/s}) bound; the
+// experiment reports its concrete value per instance.
+func ImpliedListingLB(n, s, bandwidth, maxDeg int, copies int64) float64 {
+	if copies <= 0 || n < 2 {
+		return 0
+	}
+	perNode := math.Pow(float64(copies)/float64(n), 2/float64(s))
+	lb := (perNode - float64(maxDeg)) * 2 * math.Log2(float64(n)) / (float64(n-1) * float64(bandwidth))
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// E6Listing runs the partition-based listing on dense random graphs
+// across an n sweep.
+func E6Listing(s int, ns []int, seed int64) []E6ListRow {
+	rows := make([]E6ListRow, 0, len(ns))
+	for _, n := range ns {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		g := graph.GNP(n, 0.5, rng)
+		res, err := cclique.ListCliques(g, s, 0)
+		if err != nil {
+			panic(err)
+		}
+		pred := math.Pow(float64(n), 1-2/float64(s))
+		count := g.CountCliques(s)
+		rows = append(rows, E6ListRow{
+			N: n, S: s,
+			Rounds:     res.Stats.Rounds,
+			Predicted:  pred,
+			NormRounds: float64(res.Stats.Rounds) / pred,
+			Groups:     res.Groups,
+			Collectors: res.Collectors,
+			Correct:    int64(len(res.Cliques)) == count,
+			Cliques:    len(res.Cliques),
+			ImpliedLB:  ImpliedListingLB(n, s, res.B, g.MaxDegree(), count),
+		})
+	}
+	return rows
+}
+
+// FormatE6Listing renders the listing table.
+func FormatE6Listing(rows []E6ListRow) string {
+	var b strings.Builder
+	s := rows[0].S
+	fmt.Fprintf(&b, "E6b: congested-clique K_%d listing rounds vs n (§1.1; bound Ω̃(n^{1-2/%d}))\n", s, s)
+	fmt.Fprintf(&b, "%6s %8s %12s %12s %8s %10s %9s %9s %10s\n",
+		"n", "rounds", "n^{1-2/s}", "rounds/pred", "groups", "collectors", "cliques", "correct", "impliedLB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %8d %12.1f %12.2f %8d %10d %9d %9v %10.4f\n",
+			r.N, r.Rounds, r.Predicted, r.NormRounds, r.Groups, r.Collectors, r.Cliques, r.Correct, r.ImpliedLB)
+	}
+	b.WriteString("claims: rounds/pred stays bounded as n grows (matching the lower bound's shape);\n")
+	b.WriteString("        measured rounds never fall below the Lemma 1.3 implied bound\n")
+	b.WriteString("        (the implied bound only bites asymptotically — at simulable n the\n")
+	b.WriteString("        initial-knowledge maxdeg term dominates and the bound clamps to 0)\n")
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestE1SmallSweep(t *testing.T) {
+	rows := E1EvenCycleScaling(2, []int{100, 400, 900}, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Detected || !r.BaselineDetected {
+			t.Errorf("n=%d: planted cycle missed (sub=%v base=%v)", r.N, r.Detected, r.BaselineDetected)
+		}
+		if r.SublinearRounds <= 0 || r.BaselineRounds <= 0 {
+			t.Errorf("n=%d: zero rounds", r.N)
+		}
+	}
+	// The baseline's rounds must grow linearly; at the largest n the
+	// sublinear algorithm must already be cheaper.
+	last := rows[len(rows)-1]
+	if last.SublinearRounds >= last.BaselineRounds {
+		t.Errorf("no crossover at n=%d: %d vs %d", last.N, last.SublinearRounds, last.BaselineRounds)
+	}
+	out := FormatE1(rows)
+	if !strings.Contains(out, "fitted exponent") {
+		t.Error("format missing exponent line")
+	}
+}
+
+func TestE1DetectionProbabilityMonotone(t *testing.T) {
+	rows := E1DetectionProbability(2, 80, []int{1, 16}, 10, 3)
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[1].DetectRate < rows[0].DetectRate {
+		t.Errorf("amplification decreased detection: %f → %f", rows[0].DetectRate, rows[1].DetectRate)
+	}
+	if rows[1].DetectRate == 0 {
+		t.Error("16 reps never detected")
+	}
+	_ = FormatE1Prob(rows)
+}
+
+func TestE4Padded(t *testing.T) {
+	rows := E4PaddedFooling(6, []int{1}, []int{3})
+	if len(rows) != 1 || !rows[0].ClaimOK || !rows[0].Fooled {
+		t.Fatalf("padded adversary failed: %+v", rows)
+	}
+	_ = FormatE4Padded(rows)
+}
+
+func TestFitExponent(t *testing.T) {
+	// y = 3·x² → exponent 2.
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{3, 12, 48, 192}
+	if e := FitExponent(xs, ys); math.Abs(e-2) > 1e-9 {
+		t.Fatalf("exponent %f", e)
+	}
+	if !math.IsNaN(FitExponent([]float64{1}, []float64{1})) {
+		t.Fatal("single point should be NaN")
+	}
+}
+
+func TestE2Sweep(t *testing.T) {
+	rows := E2LowerBoundFamily(2, []int{3, 5}, 2)
+	for _, r := range rows {
+		if r.Diameter != 3 {
+			t.Errorf("n=%d: diameter %d", r.NInput, r.Diameter)
+		}
+		if !r.Correct {
+			t.Errorf("n=%d: reduction answered incorrectly", r.NInput)
+		}
+		if r.Cut <= 0 || r.BitsExchanged <= 0 {
+			t.Errorf("n=%d: degenerate measurements", r.NInput)
+		}
+	}
+	if !strings.Contains(FormatE2(rows), "diameter = 3") {
+		t.Error("format missing claims")
+	}
+}
+
+func TestE3Sweep(t *testing.T) {
+	rows := E3BipartiteFamily(2, []int{3, 4}, 3)
+	for _, r := range rows {
+		if !r.Bipartite {
+			t.Errorf("n=%d: not bipartite", r.NInput)
+		}
+		if !r.PlantedOK {
+			t.Errorf("n=%d: planted embedding failed", r.NInput)
+		}
+		if r.Intersects && !r.Detected {
+			t.Errorf("n=%d: planted pattern undetected", r.NInput)
+		}
+	}
+	_ = FormatE3(rows)
+}
+
+func TestE4Sweep(t *testing.T) {
+	rows := E4Fooling([]int{6}, []int{1, 5})
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if !small.ClaimOK || !big.ClaimOK {
+		t.Fatal("Claim 4.3 violated")
+	}
+	if !small.Fooled {
+		t.Error("c=1 not fooled")
+	}
+	if big.Fooled {
+		t.Error("c=5 fooled despite full ids")
+	}
+	_ = FormatE4(rows)
+}
+
+func TestE5Sweep(t *testing.T) {
+	rows := E5OneRound(32, 4000, 4)
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if math.Abs(rows[0].ErrorRate-0.125) > 0.03 {
+		t.Errorf("silent error %f", rows[0].ErrorRate)
+	}
+	fullInfo := rows[len(rows)-1]
+	if fullInfo.ErrorRate > 0.02 {
+		t.Errorf("full-info error %f", fullInfo.ErrorRate)
+	}
+	if fullInfo.MIAccept < 0.3 {
+		t.Errorf("full-info MI %f (Lemma 5.3 wants ≥ 0.3)", fullInfo.MIAccept)
+	}
+	_ = FormatE5(rows)
+}
+
+func TestE5CapBinding(t *testing.T) {
+	rows := E5Lemma54Binding([]int{256, 512}, 4000, 9)
+	for _, r := range rows {
+		if !r.WithinCap {
+			t.Errorf("n=%d: MI %f exceeds Lemma 5.4 cap %f", r.N, r.MIAccept, r.MIUpper)
+		}
+	}
+	if !rows[len(rows)-1].Binding {
+		t.Error("cap not binding at n=512 — choose a larger n")
+	}
+	_ = FormatE5Cap(rows)
+}
+
+func TestE6Counts(t *testing.T) {
+	rows := E6Lemma13(5)
+	for _, r := range rows {
+		if r.Ratio > 1.0 {
+			t.Errorf("%s s=%d: ratio %f exceeds Lemma 1.3 bound", r.Family, r.S, r.Ratio)
+		}
+	}
+	_ = FormatE6Counts(rows)
+}
+
+func TestE6Listing(t *testing.T) {
+	rows := E6Listing(3, []int{16, 24}, 6)
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("n=%d: listing incorrect", r.N)
+		}
+		if r.Rounds <= 0 {
+			t.Errorf("n=%d: zero rounds", r.N)
+		}
+		if float64(r.Rounds) < r.ImpliedLB {
+			t.Errorf("n=%d: rounds %d below the Lemma 1.3 implied bound %f",
+				r.N, r.Rounds, r.ImpliedLB)
+		}
+	}
+	_ = FormatE6Listing(rows)
+
+	// The implied bound's shape: on complete graphs (T = C(n,s)) at
+	// B = 2·log2 n it grows like n^{1-2/s} up to log factors.
+	small := ImpliedListingLB(1000, 3, 20, 999, int64(1000*999*998/6))
+	big := ImpliedListingLB(8000, 3, 26, 7999, int64(8000)*7999*7998/6)
+	if big <= small || small <= 0 {
+		t.Errorf("implied LB not growing: %f → %f", small, big)
+	}
+}
+
+func TestE7Sweep(t *testing.T) {
+	rows := E7Separation(2, []int{3, 4}, 7)
+	for _, r := range rows {
+		if !r.BothCorrect {
+			t.Errorf("n=%d: detector mismatch", r.NInput)
+		}
+		if r.LocalRounds > 60 {
+			t.Errorf("n=%d: LOCAL rounds %d not constant-ish", r.NInput, r.LocalRounds)
+		}
+		if r.LocalMaxMsgBits <= r.CongestB {
+			t.Errorf("n=%d: LOCAL message %d not larger than CONGEST B %d",
+				r.NInput, r.LocalMaxMsgBits, r.CongestB)
+		}
+	}
+	_ = FormatE7(rows)
+}

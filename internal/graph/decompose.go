@@ -1,0 +1,60 @@
+package graph
+
+// LayerDecomposition computes the Barenboim–Elkin style peeling used by
+// Phase II of the even-cycle algorithm (Section 6 of the paper): repeat
+// `rounds` times, assigning to layer ℓ every not-yet-assigned vertex whose
+// degree among not-yet-assigned vertices is at most d.
+//
+// It returns layer[v] (the 1-based layer of each vertex, 0 if unassigned)
+// and ok = true iff every vertex was assigned. If the graph is C_2k-free
+// and d ≥ 4·ex(n,C_2k)/n, each step at least halves the remaining vertices,
+// so rounds = ⌈log2 n⌉+1 always suffices (see DESIGN.md §4.1 for why the
+// paper's d = ⌈M/2n⌉ is tightened to ⌈4M/n⌉ here).
+func LayerDecomposition(g *Graph, d, rounds int) (layer []int, ok bool) {
+	n := g.N()
+	layer = make([]int, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	remaining := n
+	for ell := 1; ell <= rounds && remaining > 0; ell++ {
+		var peel []int
+		for v := 0; v < n; v++ {
+			if layer[v] == 0 && deg[v] <= d {
+				peel = append(peel, v)
+			}
+		}
+		for _, v := range peel {
+			layer[v] = ell
+		}
+		for _, v := range peel {
+			for _, w := range g.Neighbors(v) {
+				if layer[w] == 0 {
+					deg[w]--
+				}
+			}
+		}
+		remaining -= len(peel)
+	}
+	return layer, remaining == 0
+}
+
+// UpDegree returns, for each assigned vertex, the number of neighbors in an
+// equal-or-higher layer (the quantity bounded by d in the decomposition).
+// Unassigned vertices (layer 0) are skipped and reported as -1.
+func UpDegree(g *Graph, layer []int) []int {
+	up := make([]int, g.N())
+	for v := range up {
+		if layer[v] == 0 {
+			up[v] = -1
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if layer[w] == 0 || layer[w] >= layer[v] {
+				up[v]++
+			}
+		}
+	}
+	return up
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic, and anything it accepts
+// must survive a write→read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 5\n0 1\n1 2\n")
+	f.Add("0 1\n# comment\n\n2 3\n")
+	f.Add("n x\n")
+	f.Add("1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("rewrite of accepted input rejected: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// FuzzSubgraphSearch: on tiny random graphs, the symmetry-broken
+// existence search must agree with the exhaustive (non-broken) counter.
+func FuzzSubgraphSearch(f *testing.F) {
+	f.Add(uint16(0x0F), uint16(0xFFFF))
+	f.Add(uint16(0x3), uint16(0x0))
+	f.Fuzz(func(t *testing.T, hMask, gMask uint16) {
+		h := graphFromMask(4, uint32(hMask))
+		g := graphFromMask(6, uint32(gMask))
+		fast := ContainsSubgraph(h, g)
+		slow := CountEmbeddings(h, g, 1) > 0
+		if fast != slow {
+			t.Fatalf("symmetry breaking changed existence: %v vs %v", fast, slow)
+		}
+	})
+}
+
+// graphFromMask builds a graph on n vertices whose edges are selected by
+// the low bits of mask over the C(n,2) vertex pairs.
+func graphFromMask(n int, mask uint32) *Graph {
+	b := NewBuilder(n)
+	bit := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if mask&(1<<uint(bit)) != 0 {
+				b.AddEdge(i, j)
+			}
+			bit++
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cycle returns the cycle C_n (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n ≥ 3, got %d", n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Path returns the path P_n on n vertices (n-1 edges).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *Graph {
+	bd := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bd.AddEdge(i, a+j)
+		}
+	}
+	return bd.Build()
+}
+
+// Star returns K_{1,n}: vertex 0 is the center.
+func Star(n int) *Graph { return CompleteBipartite(1, n) }
+
+// GNP returns an Erdős–Rényi random graph G(n, p).
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GNM returns a uniform random graph with exactly m edges (m ≤ n(n-1)/2).
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d", m, max))
+	}
+	b := NewBuilder(n)
+	added := 0
+	for added < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if b.AddEdgeOK(u, v) {
+			added++
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n <= 0 {
+		panic("graph: RandomTree needs n ≥ 1")
+	}
+	b := NewBuilder(n)
+	if n == 1 {
+		return b.Build()
+	}
+	if n == 2 {
+		b.AddEdge(0, 1)
+		return b.Build()
+	}
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+		deg[prufer[i]]++
+	}
+	// Decode: repeatedly join the smallest leaf to the next Prüfer entry.
+	// A simple O(n log n) decode with a sorted scan is plenty here.
+	used := make([]bool, n)
+	for _, p := range prufer {
+		leaf := -1
+		for v := 0; v < n; v++ {
+			if deg[v] == 1 && !used[v] {
+				leaf = v
+				break
+			}
+		}
+		b.AddEdge(leaf, p)
+		used[leaf] = true
+		deg[p]--
+		deg[leaf]--
+	}
+	// Two vertices of degree 1 remain.
+	var last []int
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 && !used[v] {
+			last = append(last, v)
+		}
+	}
+	b.AddEdge(last[0], last[1])
+	return b.Build()
+}
+
+// PlantCycle adds a cycle of length L through L distinct random vertices of
+// g, returning the new graph and the planted cycle's vertices in order.
+// Existing edges along the chosen cycle are reused rather than duplicated.
+func PlantCycle(g *Graph, L int, rng *rand.Rand) (*Graph, []int) {
+	if L < 3 || L > g.N() {
+		panic(fmt.Sprintf("graph: cannot plant C_%d in graph with n=%d", L, g.N()))
+	}
+	perm := rng.Perm(g.N())[:L]
+	b := g.Clone()
+	for i := 0; i < L; i++ {
+		b.AddEdgeOK(perm[i], perm[(i+1)%L])
+	}
+	return b.Build(), perm
+}
+
+// PlantClique adds a clique K_s on s distinct random vertices of g,
+// returning the new graph and the clique's vertices.
+func PlantClique(g *Graph, s int, rng *rand.Rand) (*Graph, []int) {
+	if s < 1 || s > g.N() {
+		panic(fmt.Sprintf("graph: cannot plant K_%d in graph with n=%d", s, g.N()))
+	}
+	perm := rng.Perm(g.N())[:s]
+	b := g.Clone()
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			b.AddEdgeOK(perm[i], perm[j])
+		}
+	}
+	return b.Build(), perm
+}
+
+// BlowUpCycle returns the "theta-free" style bipartite-ish test graph: a
+// cycle C_L where each vertex is replaced by an independent set of size t
+// and each cycle edge by a complete bipartite graph between consecutive
+// classes. It contains C_{2k} for many k and has controlled density; used
+// as a dense even-cycle-rich workload.
+func BlowUpCycle(L, t int) *Graph {
+	if L < 3 || t < 1 {
+		panic("graph: BlowUpCycle needs L ≥ 3, t ≥ 1")
+	}
+	b := NewBuilder(L * t)
+	for i := 0; i < L; i++ {
+		j := (i + 1) % L
+		for a := 0; a < t; a++ {
+			for c := 0; c < t; c++ {
+				b.AddEdge(i*t+a, j*t+c)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// EvenCycleFree returns a C_{≥2k}-sparse incremental graph: a random graph
+// built by inserting random edges and keeping only those that do not create
+// a cycle of length exactly 2k. The result is C_2k-free by construction and
+// serves as the hard "no" instance for even-cycle detection tests.
+//
+// attempts controls density; the graph has at most attempts edges.
+func EvenCycleFree(n, k, attempts int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	g := b.Build()
+	for i := 0; i < attempts; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		// Adding {u,v} creates a C_2k iff there is a (2k-1)-path u→v.
+		if hasPathOfLength(g, u, v, 2*k-1) {
+			continue
+		}
+		b.AddEdge(u, v)
+		g = b.Build()
+	}
+	return g
+}
+
+// hasPathOfLength reports whether there is a simple path with exactly L
+// edges between u and v. Exponential in L but L is a small constant here.
+func hasPathOfLength(g *Graph, u, v, L int) bool {
+	visited := make([]bool, g.N())
+	var dfs func(cur, rem int) bool
+	dfs = func(cur, rem int) bool {
+		if rem == 0 {
+			return cur == v
+		}
+		visited[cur] = true
+		defer func() { visited[cur] = false }()
+		for _, w := range g.Neighbors(cur) {
+			if !visited[w] {
+				if dfs(int(w), rem-1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(u, L)
+}

@@ -1,0 +1,210 @@
+// Package graph provides the undirected simple graphs, generators,
+// decompositions and ground-truth subgraph searches that the CONGEST
+// algorithms and lower-bound constructions are built on.
+//
+// Vertices are dense integers 0..N-1. Graphs are immutable after
+// construction via Builder, which makes them safe to share across the
+// concurrent simulator engines without locking.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph on vertices 0..N-1.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int32 // sorted neighbor lists
+}
+
+// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
+// rejected with a panic: every construction in this repository is explicit
+// about its edge set, so a duplicate indicates a bug in the construction.
+type Builder struct {
+	n     int
+	edges map[[2]int32]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Builder{n: n, edges: make(map[[2]int32]struct{})}
+}
+
+// N returns the number of vertices the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge inserts the undirected edge {u,v}. It panics on self-loops,
+// out-of-range endpoints, or duplicate edges.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	key := normEdge(u, v)
+	if _, dup := b.edges[key]; dup {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	b.edges[key] = struct{}{}
+}
+
+// AddEdgeOK is like AddEdge but ignores duplicates and self-loops, returning
+// whether the edge was newly inserted. Random generators use it.
+func (b *Builder) AddEdgeOK(u, v int) bool {
+	if u == v || u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	key := normEdge(u, v)
+	if _, dup := b.edges[key]; dup {
+		return false
+	}
+	b.edges[key] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	_, ok := b.edges[normEdge(u, v)]
+	return ok
+}
+
+func normEdge(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+// Build produces the immutable graph. The builder may keep being used.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, m: len(b.edges), adj: make([][]int32, b.n)}
+	deg := make([]int, b.n)
+	for e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]int32, 0, deg[v])
+	}
+	for e := range b.edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree, or 0 on the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns v's sorted neighbor list. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u,v} is an edge, in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	a := g.adj[u]
+	t := int32(v)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
+	return i < len(a) && a[i] == t
+}
+
+// Edges returns all edges as (u,v) pairs with u < v, in sorted order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a Builder pre-populated with g's edges, for derived graphs.
+func (g *Graph) Clone() *Builder {
+	b := NewBuilder(g.n)
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a vertex predicate)
+// along with the mapping from new vertex indices to original ones.
+func (g *Graph) InducedSubgraph(keep func(v int) bool) (*Graph, []int) {
+	oldToNew := make([]int, g.n)
+	var newToOld []int
+	for v := 0; v < g.n; v++ {
+		if keep(v) {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, v)
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	for u := 0; u < g.n; u++ {
+		if oldToNew[u] < 0 {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if int(w) > u && oldToNew[w] >= 0 {
+				b.AddEdge(oldToNew[u], oldToNew[int(w)])
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+// DisjointUnion returns the disjoint union of graphs, with vertex offsets
+// assigned in argument order, and the offset of each component.
+func DisjointUnion(gs ...*Graph) (*Graph, []int) {
+	total := 0
+	offsets := make([]int, len(gs))
+	for i, g := range gs {
+		offsets[i] = total
+		total += g.N()
+	}
+	b := NewBuilder(total)
+	for i, g := range gs {
+		for _, e := range g.Edges() {
+			b.AddEdge(e[0]+offsets[i], e[1]+offsets[i])
+		}
+	}
+	return b.Build(), offsets
+}
+
+// String returns a short description like "Graph(n=5, m=4)".
+func (g *Graph) String() string { return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.m) }

@@ -1,0 +1,591 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 2)
+	g := b.Build()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge (0,1) missing")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("edge (2,3) missing")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("phantom edge (0,3)")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self loop reported")
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Errorf("degrees: %d %d", g.Degree(1), g.Degree(0))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"self-loop":    func() { NewBuilder(3).AddEdge(1, 1) },
+		"out-of-range": func() { NewBuilder(3).AddEdge(0, 3) },
+		"duplicate": func() {
+			b := NewBuilder(3)
+			b.AddEdge(0, 1)
+			b.AddEdge(1, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddEdgeOK(t *testing.T) {
+	b := NewBuilder(3)
+	if !b.AddEdgeOK(0, 1) {
+		t.Error("first add failed")
+	}
+	if b.AddEdgeOK(1, 0) {
+		t.Error("duplicate accepted")
+	}
+	if b.AddEdgeOK(1, 1) {
+		t.Error("self-loop accepted")
+	}
+	if b.AddEdgeOK(0, 5) {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNP(40, 0.3, rng)
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("neighbors of %d not sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GNP(30, 0.2, rng)
+	edges := g.Edges()
+	if len(edges) != g.M() {
+		t.Fatalf("Edges len %d, M %d", len(edges), g.M())
+	}
+	b := NewBuilder(g.N())
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g2 := b.Build()
+	if g2.M() != g.M() {
+		t.Fatal("round trip lost edges")
+	}
+	for _, e := range edges {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Cycle(5); g.N() != 5 || g.M() != 5 || g.MaxDegree() != 2 {
+		t.Errorf("Cycle(5): %v", g)
+	}
+	if g := Path(5); g.M() != 4 || !g.IsTree() {
+		t.Errorf("Path(5): %v", g)
+	}
+	if g := Complete(6); g.M() != 15 || g.MaxDegree() != 5 {
+		t.Errorf("Complete(6): %v", g)
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 {
+		t.Errorf("K_{3,4}: %v", g)
+	}
+	if ok, _ := CompleteBipartite(3, 4).IsBipartite(); !ok {
+		t.Error("K_{3,4} not bipartite?")
+	}
+	if g := Star(7); g.Degree(0) != 7 {
+		t.Errorf("Star center degree %d", Star(7).Degree(0))
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 10, 50} {
+		g := RandomTree(n, rng)
+		if !g.IsTree() {
+			t.Errorf("RandomTree(%d) not a tree: m=%d connected=%v", n, g.M(), g.Connected())
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GNM(20, 30, rng)
+	if g.M() != 30 {
+		t.Fatalf("GNM edges %d", g.M())
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	g := Path(5)
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d]=%d", i, d)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Path(6).Diameter(); d != 5 {
+		t.Errorf("path diameter %d", d)
+	}
+	if d := Cycle(8).Diameter(); d != 4 {
+		t.Errorf("cycle diameter %d", d)
+	}
+	if d := Complete(5).Diameter(); d != 1 {
+		t.Errorf("clique diameter %d", d)
+	}
+	g, _ := DisjointUnion(Path(2), Path(2))
+	if d := g.Diameter(); d != -1 {
+		t.Errorf("disconnected diameter %d", d)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g, off := DisjointUnion(Cycle(3), Path(4), Complete(2))
+	comp, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components %d", count)
+	}
+	if comp[off[0]] == comp[off[1]] || comp[off[1]] == comp[off[2]] {
+		t.Error("components merged")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Cycle(3), 3}, {Cycle(4), 4}, {Cycle(7), 7},
+		{Complete(4), 3}, {Path(5), -1}, {CompleteBipartite(2, 3), 4},
+		{BlowUpCycle(4, 2), 4},
+	}
+	for i, c := range cases {
+		if got := c.g.Girth(); got != c.want {
+			t.Errorf("case %d: girth=%d want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub, names := g.InducedSubgraph(func(v int) bool { return v != 2 })
+	if sub.N() != 4 || sub.M() != 6 {
+		t.Fatalf("induced K4: %v", sub)
+	}
+	for _, old := range names {
+		if old == 2 {
+			t.Fatal("removed vertex present")
+		}
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	if ok, _ := Cycle(5).IsBipartite(); ok {
+		t.Error("C5 bipartite?")
+	}
+	ok, col := Cycle(6).IsBipartite()
+	if !ok {
+		t.Fatal("C6 not bipartite?")
+	}
+	for _, e := range Cycle(6).Edges() {
+		if col[e[0]] == col[e[1]] {
+			t.Fatal("invalid 2-coloring")
+		}
+	}
+}
+
+// --- subgraph isomorphism ---
+
+func TestFindSubgraphBasic(t *testing.T) {
+	cases := []struct {
+		h, g *Graph
+		want bool
+	}{
+		{Cycle(3), Complete(4), true},
+		{Cycle(3), CompleteBipartite(3, 3), false},
+		{Cycle(4), CompleteBipartite(2, 2), true},
+		{Cycle(5), Cycle(5), true},
+		{Cycle(5), Cycle(6), false},
+		{Path(4), Cycle(6), true},
+		{Complete(4), Complete(4), true},
+		{Complete(5), Complete(4), false},
+		{Star(4), Complete(5), true},
+		{Cycle(6), Cycle(3), false},
+	}
+	for i, c := range cases {
+		phi := FindSubgraph(c.h, c.g)
+		got := phi != nil
+		if got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+		if phi != nil && !VerifyEmbedding(c.h, c.g, phi) {
+			t.Errorf("case %d: invalid embedding %v", i, phi)
+		}
+	}
+}
+
+func TestSubgraphNotInduced(t *testing.T) {
+	// P3 (path on 3 vertices) embeds into K3 even though K3 has the extra
+	// chord — Definition 1 is subgraph containment, not induced.
+	if !ContainsSubgraph(Path(3), Complete(3)) {
+		t.Fatal("P3 should embed in K3")
+	}
+}
+
+func TestCountEmbeddings(t *testing.T) {
+	// Labelled triangle embeddings in K3: 3! = 6.
+	if c := CountEmbeddings(Cycle(3), Complete(3), 0); c != 6 {
+		t.Errorf("triangle in K3: %d embeddings", c)
+	}
+	// Edges of K4 as labelled P2 embeddings: 6 edges × 2 orientations.
+	if c := CountEmbeddings(Path(2), Complete(4), 0); c != 12 {
+		t.Errorf("P2 in K4: %d", c)
+	}
+	if c := CountEmbeddings(Cycle(3), Complete(4), 7); c != 7 {
+		t.Errorf("limit not respected: %d", c)
+	}
+}
+
+func TestContainsCycleLen(t *testing.T) {
+	g := Cycle(6)
+	if ContainsCycleLen(g, 3) || ContainsCycleLen(g, 4) || ContainsCycleLen(g, 5) {
+		t.Error("C6 contains shorter cycle?")
+	}
+	if !ContainsCycleLen(g, 6) {
+		t.Error("C6 does not contain C6?")
+	}
+	if !ContainsCycleLen(Complete(5), 4) || !ContainsCycleLen(Complete(5), 5) {
+		t.Error("K5 missing cycles")
+	}
+}
+
+func TestPlantCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := GNP(30, 0.02, rng)
+	g, cyc := PlantCycle(base, 6, rng)
+	if len(cyc) != 6 {
+		t.Fatalf("cycle len %d", len(cyc))
+	}
+	for i := range cyc {
+		if !g.HasEdge(cyc[i], cyc[(i+1)%6]) {
+			t.Fatal("planted cycle edge missing")
+		}
+	}
+	if !ContainsCycleLen(g, 6) {
+		t.Fatal("planted C6 not found")
+	}
+}
+
+func TestPlantClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, cl := PlantClique(GNP(20, 0.05, rng), 4, rng)
+	for i := range cl {
+		for j := i + 1; j < len(cl); j++ {
+			if !g.HasEdge(cl[i], cl[j]) {
+				t.Fatal("clique edge missing")
+			}
+		}
+	}
+	if !ContainsSubgraph(Complete(4), g) {
+		t.Fatal("planted K4 not found")
+	}
+}
+
+func TestEvenCycleFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{2, 3} {
+		g := EvenCycleFree(25, k, 150, rng)
+		if ContainsCycleLen(g, 2*k) {
+			t.Errorf("EvenCycleFree(k=%d) contains C_%d", k, 2*k)
+		}
+	}
+}
+
+// Property: ContainsSubgraph(C3, g) agrees with triangle counting.
+func TestQuickTriangleAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GNP(12, 0.25, r)
+		return ContainsSubgraph(Cycle(3), g) == (g.CountTriangles() > 0)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- cliques ---
+
+func TestCountCliques(t *testing.T) {
+	if c := Complete(6).CountCliques(3); c != 20 {
+		t.Errorf("K6 triangles: %d", c) // C(6,3)=20
+	}
+	if c := Complete(6).CountCliques(4); c != 15 {
+		t.Errorf("K6 K4s: %d", c)
+	}
+	if c := Complete(6).CountCliques(6); c != 1 {
+		t.Errorf("K6 K6s: %d", c)
+	}
+	if c := Complete(6).CountCliques(7); c != 0 {
+		t.Errorf("K6 K7s: %d", c)
+	}
+	if c := Cycle(5).CountCliques(3); c != 0 {
+		t.Errorf("C5 triangles: %d", c)
+	}
+	if c := CompleteBipartite(4, 4).CountCliques(3); c != 0 {
+		t.Errorf("bipartite triangles: %d", c)
+	}
+	if c := Complete(5).CountCliques(1); c != 5 {
+		t.Errorf("K5 vertices: %d", c)
+	}
+	if c := Complete(5).CountCliques(2); c != 10 {
+		t.Errorf("K5 edges: %d", c)
+	}
+}
+
+func TestListTriangles(t *testing.T) {
+	tris := Complete(4).ListTriangles()
+	if len(tris) != 4 {
+		t.Fatalf("K4 triangles: %d", len(tris))
+	}
+	seen := map[[3]int]bool{}
+	for _, tri := range tris {
+		if seen[tri] {
+			t.Fatal("duplicate triangle")
+		}
+		seen[tri] = true
+	}
+}
+
+// Property: clique counting matches a brute-force enumeration on small
+// random graphs.
+func TestQuickCliqueCountBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GNP(10, 0.5, r)
+		for s := 3; s <= 5; s++ {
+			if g.CountCliques(s) != bruteCliqueCount(g, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteCliqueCount(g *Graph, s int) int64 {
+	var count int64
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == s {
+			count++
+			return
+		}
+		for v := start; v < g.N(); v++ {
+			ok := true
+			for _, u := range cur {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(v+1, append(cur, v))
+			}
+		}
+	}
+	rec(0, nil)
+	return count
+}
+
+func TestDegeneracyOrder(t *testing.T) {
+	g := Complete(5)
+	order, d := g.DegeneracyOrder()
+	if d != 4 {
+		t.Errorf("K5 degeneracy %d", d)
+	}
+	if len(order) != 5 {
+		t.Errorf("order length %d", len(order))
+	}
+	if _, d := Path(10).DegeneracyOrder(); d != 1 {
+		t.Errorf("path degeneracy %d", d)
+	}
+	if _, d := Cycle(10).DegeneracyOrder(); d != 2 {
+		t.Errorf("cycle degeneracy %d", d)
+	}
+}
+
+// Property: in the degeneracy order, every vertex has at most `degeneracy`
+// later neighbors.
+func TestQuickDegeneracyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GNP(25, 0.2, r)
+		order, d := g.DegeneracyOrder()
+		rank := make([]int, g.N())
+		for i, v := range order {
+			rank[v] = i
+		}
+		for v := 0; v < g.N(); v++ {
+			later := 0
+			for _, w := range g.Neighbors(v) {
+				if rank[w] > rank[v] {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- decomposition ---
+
+func TestLayerDecompositionPath(t *testing.T) {
+	g := Path(10)
+	layer, ok := LayerDecomposition(g, 2, 5)
+	if !ok {
+		t.Fatal("path not fully decomposed")
+	}
+	for v, l := range layer {
+		if l != 1 {
+			t.Errorf("vertex %d layer %d (all degrees ≤ 2)", v, l)
+		}
+	}
+}
+
+func TestLayerDecompositionClique(t *testing.T) {
+	g := Complete(8)
+	if _, ok := LayerDecomposition(g, 2, 10); ok {
+		t.Fatal("K8 decomposed with d=2?")
+	}
+	layer, ok := LayerDecomposition(g, 7, 1)
+	if !ok {
+		t.Fatal("K8 should decompose with d=7")
+	}
+	_ = layer
+}
+
+// Property: when decomposition succeeds, every vertex's up-degree is ≤ d.
+func TestQuickUpDegreeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GNP(30, 0.15, r)
+		d := 2*g.M()/g.N() + 1
+		layer, ok := LayerDecomposition(g, d, 30)
+		if !ok {
+			return true // not required to succeed for arbitrary d
+		}
+		for _, u := range UpDegree(g, layer) {
+			if u > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Turán bounds ---
+
+func TestExCompleteUpper(t *testing.T) {
+	// ex(n, K3) = ⌊n²/4⌋ (Mantel).
+	for n := 2; n <= 12; n++ {
+		if got, want := ExCompleteUpper(n, 3), n*n/4; got != want {
+			t.Errorf("ex(%d,K3)=%d want %d", n, got, want)
+		}
+	}
+	// Turán graph T(7,3) = K_{3,2,2}: edges = 3·2+3·2+2·2 = 16.
+	if got := ExCompleteUpper(7, 4); got != 16 {
+		t.Errorf("ex(7,K4)=%d want 16", got)
+	}
+	// n ≤ s-1: complete graph is K_s-free.
+	if got := ExCompleteUpper(4, 6); got != 6 {
+		t.Errorf("ex(4,K6)=%d want 6", got)
+	}
+}
+
+func TestExEvenCycleUpperMonotone(t *testing.T) {
+	prev := 0
+	for n := 1; n < 200; n += 10 {
+		v := ExEvenCycleUpper(n, 2, 1.0)
+		if v < prev {
+			t.Fatalf("ex bound not monotone at n=%d", n)
+		}
+		prev = v
+	}
+	// C4-free: ex(n,C4) ~ (1/2)n^{3/2}; bound with c=1 must be ≥ that shape.
+	// (Ceil of a float power may land one above the exact value.)
+	if v := ExEvenCycleUpper(100, 2, 1.0); v < 1000 || v > 1001 {
+		t.Errorf("ExEvenCycleUpper(100,2,1)=%d", v)
+	}
+}
+
+func TestMantelExtremal(t *testing.T) {
+	// K_{n/2,n/2} has exactly ex(n,K3) edges and no triangle.
+	g := CompleteBipartite(6, 6)
+	if g.M() != ExCompleteUpper(12, 3) {
+		t.Fatalf("K_{6,6} edges %d vs bound %d", g.M(), ExCompleteUpper(12, 3))
+	}
+	if g.CountTriangles() != 0 {
+		t.Fatal("bipartite graph has triangle")
+	}
+}
+
+// Property: Lemma 1.3 shape — K_s count ≤ m^{s/2} on random graphs
+// (the paper's bound has a constant; with the constant-1 form we verify the
+// count does not exceed it at these sizes, which it provably cannot for
+// s=3: #triangles ≤ (√2/3)·m^{3/2} < m^{3/2}).
+func TestQuickLemma13Triangles(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GNP(20, 0.4, r)
+		if g.M() == 0 {
+			return true
+		}
+		return float64(g.CountTriangles()) <= KsUpperBound(int64(g.M()), 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

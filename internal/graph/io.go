@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Plain edge-list serialization: one "u v" pair per line, '#' comments and
+// blank lines ignored; the vertex count is max index + 1 unless a header
+// line "n <count>" pins it (isolated trailing vertices need the header).
+// Used by the CLI tools to load and dump topologies.
+
+// WriteEdgeList writes g in edge-list format with an "n" header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintf(w, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList (duplicate
+// edges are rejected; self-loops are an error).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := -1
+	var edges [][2]int
+	maxV := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.HasPrefix(text, "n ") || strings.HasPrefix(text, "n\t") {
+			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", line, text)
+			}
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex", line)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop %d", line, u)
+		}
+		edges = append(edges, [2]int{u, v})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	if maxV >= n {
+		return nil, fmt.Errorf("graph: vertex %d exceeds declared n=%d", maxV, n)
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if b.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e[0], e[1])
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNP(20, 0.3, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestEdgeListCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\nn 5\n0 1\n\n# another\n3 4\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.M() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"self-loop":      "2 2\n",
+		"negative":       "-1 2\n",
+		"garbage":        "0 x\n",
+		"duplicate":      "0 1\n1 0\n",
+		"exceeds-header": "n 2\n0 5\n",
+		"bad-header":     "n x\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestEdgeListIsolatedVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+// Property: write→read is the identity on random graphs.
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(12, 0.4, rng)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil || g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

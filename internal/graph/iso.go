@@ -1,0 +1,269 @@
+package graph
+
+import "sort"
+
+// Subgraph isomorphism (monomorphism) search: find an injective map
+// φ: V(H) → V(G) with {u,v} ∈ E(H) ⇒ {φ(u),φ(v)} ∈ E(G). This matches
+// Definition 1 in the paper (subgraph containment, not induced), and is the
+// centralized ground truth every distributed detector is tested against
+// (cf. Ullmann [24]; the implementation is a VF2-style backtracking search
+// with degree and connectivity pruning).
+
+// FindSubgraph returns one embedding of h into g (φ indexed by V(h)), or
+// nil if none exists. The existence search breaks symmetry over twin
+// vertices of h (vertices with identical open or closed neighborhoods,
+// e.g. the interchangeable members of a clique), which turns the
+// factorially-symmetric searches of the Section 3 constructions from
+// intractable into instant without missing any embedding class.
+func FindSubgraph(h, g *Graph) []int {
+	var found []int
+	forEachEmbedding(h, g, true, func(phi []int) bool {
+		found = append([]int(nil), phi...)
+		return false // stop
+	})
+	return found
+}
+
+// ContainsSubgraph reports whether g contains a copy of h.
+func ContainsSubgraph(h, g *Graph) bool { return FindSubgraph(h, g) != nil }
+
+// CountEmbeddings returns the number of injective embeddings of h into g
+// (labelled count: automorphisms of h are counted separately, so no
+// symmetry breaking is applied). limit > 0 stops counting early once limit
+// embeddings are found.
+func CountEmbeddings(h, g *Graph, limit int) int {
+	count := 0
+	forEachEmbedding(h, g, false, func([]int) bool {
+		count++
+		return limit <= 0 || count < limit
+	})
+	return count
+}
+
+// twinClasses groups h's vertices into interchangeable classes: two
+// vertices are twins when their open neighborhoods coincide (independent
+// twins) or their closed neighborhoods coincide (adjacent twins, e.g.
+// clique members). Swapping twins is an automorphism of h, so an
+// existence search may insist that twin images appear in increasing order.
+// Returns, for each vertex, its predecessor twin in a fixed class order
+// (-1 if none).
+func twinClasses(h *Graph) []int {
+	n := h.N()
+	type sig struct {
+		closed bool
+		key    string
+	}
+	bySig := map[sig][]int{}
+	for v := 0; v < n; v++ {
+		open := make([]byte, 0, 4*n)
+		closed := make([]byte, 0, 4*n)
+		for _, w := range h.Neighbors(v) {
+			open = append(open, byte(w>>8), byte(w))
+		}
+		// Closed neighborhood: insert v in sorted position.
+		inserted := false
+		for _, w := range h.Neighbors(v) {
+			if !inserted && int(w) > v {
+				closed = append(closed, byte(v>>8), byte(v))
+				inserted = true
+			}
+			closed = append(closed, byte(w>>8), byte(w))
+		}
+		if !inserted {
+			closed = append(closed, byte(v>>8), byte(v))
+		}
+		bySig[sig{false, string(open)}] = append(bySig[sig{false, string(open)}], v)
+		bySig[sig{true, string(closed)}] = append(bySig[sig{true, string(closed)}], v)
+	}
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, class := range bySig {
+		for i := 1; i < len(class); i++ {
+			if prev[class[i]] == -1 {
+				prev[class[i]] = class[i-1]
+			}
+		}
+	}
+	return prev
+}
+
+// forEachEmbedding enumerates embeddings, invoking visit for each; visit
+// returns false to stop the search. breakSymmetry restricts the search to
+// one representative per twin-automorphism class of h.
+func forEachEmbedding(h, g *Graph, breakSymmetry bool, visit func(phi []int) bool) {
+	nh := h.N()
+	if nh == 0 {
+		visit(nil)
+		return
+	}
+	if nh > g.N() || h.M() > g.M() {
+		return
+	}
+	order := matchOrder(h)
+	// For each h-vertex in order, precompute already-matched h-neighbors.
+	prevNbrs := make([][]int, nh)
+	posInOrder := make([]int, nh)
+	for i, u := range order {
+		posInOrder[u] = i
+	}
+	for i, u := range order {
+		for _, w := range h.Neighbors(u) {
+			if posInOrder[w] < i {
+				prevNbrs[i] = append(prevNbrs[i], int(w))
+			}
+		}
+	}
+	phi := make([]int, nh)
+	mapped := make([]bool, nh)
+	used := make([]bool, g.N())
+	hdeg := make([]int, nh)
+	for u := 0; u < nh; u++ {
+		hdeg[u] = h.Degree(u)
+	}
+	var prevTwin, nextTwin []int
+	if breakSymmetry {
+		prevTwin = twinClasses(h)
+		nextTwin = make([]int, nh)
+		for i := range nextTwin {
+			nextTwin[i] = -1
+		}
+		for v, p := range prevTwin {
+			if p >= 0 {
+				nextTwin[p] = v
+			}
+		}
+	}
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == nh {
+			return visit(phi)
+		}
+		u := order[i]
+		// Candidate set: if u has a previously matched neighbor, only the
+		// g-neighbors of its image are candidates; otherwise all vertices.
+		try := func(v int) bool {
+			if used[v] || g.Degree(v) < hdeg[u] {
+				return true
+			}
+			for _, p := range prevNbrs[i] {
+				if !g.HasEdge(phi[p], v) {
+					return true
+				}
+			}
+			if breakSymmetry {
+				// Twin images must appear in increasing order.
+				if t := prevTwin[u]; t >= 0 && mapped[t] && v < phi[t] {
+					return true
+				}
+				if t := nextTwin[u]; t >= 0 && mapped[t] && v > phi[t] {
+					return true
+				}
+			}
+			phi[u] = v
+			mapped[u] = true
+			used[v] = true
+			cont := rec(i + 1)
+			used[v] = false
+			mapped[u] = false
+			return cont
+		}
+		if len(prevNbrs[i]) > 0 {
+			anchor := phi[prevNbrs[i][0]]
+			for _, v := range g.Neighbors(anchor) {
+				if !try(int(v)) {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < g.N(); v++ {
+			if !try(v) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// matchOrder returns a vertex order for H that keeps the partial match
+// connected where possible and starts from high-degree vertices, which
+// maximizes pruning.
+func matchOrder(h *Graph) []int {
+	n := h.N()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	// Process components one at a time, highest-degree seed first.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(i, j int) bool { return h.Degree(seeds[i]) > h.Degree(seeds[j]) })
+	for _, seed := range seeds {
+		if inOrder[seed] {
+			continue
+		}
+		// Greedy: repeatedly add the unplaced vertex with the most
+		// already-placed neighbors (ties: higher degree).
+		order = append(order, seed)
+		inOrder[seed] = true
+		for {
+			best, bestPlaced, bestDeg := -1, -1, -1
+			for v := 0; v < n; v++ {
+				if inOrder[v] {
+					continue
+				}
+				placed := 0
+				for _, w := range h.Neighbors(v) {
+					if inOrder[w] {
+						placed++
+					}
+				}
+				if placed == 0 {
+					continue // keep components contiguous
+				}
+				if placed > bestPlaced || (placed == bestPlaced && h.Degree(v) > bestDeg) {
+					best, bestPlaced, bestDeg = v, placed, h.Degree(v)
+				}
+			}
+			if best < 0 {
+				break
+			}
+			order = append(order, best)
+			inOrder[best] = true
+		}
+	}
+	return order
+}
+
+// VerifyEmbedding checks that phi is a valid subgraph embedding of h in g.
+func VerifyEmbedding(h, g *Graph, phi []int) bool {
+	if len(phi) != h.N() {
+		return false
+	}
+	seen := make(map[int]bool, len(phi))
+	for _, v := range phi {
+		if v < 0 || v >= g.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for _, e := range h.Edges() {
+		if !g.HasEdge(phi[e[0]], phi[e[1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsCycleLen reports whether g contains a cycle of length exactly L
+// as a subgraph, via the generic matcher.
+func ContainsCycleLen(g *Graph, L int) bool {
+	if L < 3 {
+		return false
+	}
+	return ContainsSubgraph(Cycle(L), g)
+}

@@ -1,0 +1,105 @@
+package graph
+
+import "testing"
+
+// pendantCliquePair builds the symmetry-breaking ablation pair. Pattern:
+// K_s with a 2-edge tail 0—a—b hanging off vertex 0. Host: K_s with a
+// 1-edge pendant on every clique vertex. Degrees match far enough that
+// the clique-to-clique assignment always succeeds and the search only
+// fails when placing `a` (host pendants have degree 1 < 2). Without twin
+// symmetry breaking the refutation re-enumerates the (s-1)! orderings of
+// the interchangeable clique vertices; with it there is one.
+func pendantCliquePair(s int) (h, g *Graph) {
+	hb := NewBuilder(s + 2)
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			hb.AddEdge(i, j)
+		}
+	}
+	hb.AddEdge(0, s)   // a
+	hb.AddEdge(s, s+1) // b
+	gb := NewBuilder(2 * s)
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			gb.AddEdge(i, j)
+		}
+		gb.AddEdge(i, s+i) // pendant on every clique vertex
+	}
+	return hb.Build(), gb.Build()
+}
+
+func BenchmarkIsoWithSymmetryBreaking(b *testing.B) {
+	h, g := pendantCliquePair(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ContainsSubgraph(h, g) {
+			b.Fatal("impossible embedding found")
+		}
+	}
+}
+
+func BenchmarkIsoWithoutSymmetryBreaking(b *testing.B) {
+	h, g := pendantCliquePair(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// CountEmbeddings uses the non-symmetry-broken search.
+		if CountEmbeddings(h, g, 1) != 0 {
+			b.Fatal("impossible embedding found")
+		}
+	}
+}
+
+func BenchmarkIsoHkScale(b *testing.B) {
+	// The search that motivated the twin constraint: a 50+-vertex pattern
+	// full of cliques against a larger host (shapes mirror H_k/G_{k,n};
+	// the real pair lives in internal/lower and cannot be imported here
+	// without a cycle, so this reproduces the shape).
+	hb := NewBuilder(46)
+	off := 0
+	for _, s := range []int{6, 7, 8, 9, 10} {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				hb.AddEdge(off+i, off+j)
+			}
+		}
+		off += s
+	}
+	// Join the five clique "specials" in a 5-clique, plus a pendant path.
+	specials := []int{0, 6, 13, 21, 30}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			hb.AddEdge(specials[i], specials[j])
+		}
+	}
+	hb.AddEdge(0, 40)
+	hb.AddEdge(40, 41)
+	h := hb.Build()
+
+	gb := NewBuilder(50)
+	off = 0
+	for _, s := range []int{6, 7, 8, 9, 10} {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				gb.AddEdge(off+i, off+j)
+			}
+		}
+		off += s
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			gb.AddEdge(specials[i], specials[j])
+		}
+	}
+	// Host has the pendant path attached elsewhere: embedding exists only
+	// through the right special vertex.
+	gb.AddEdge(0, 45)
+	gb.AddEdge(45, 46)
+	g := gb.Build()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ContainsSubgraph(h, g) {
+			b.Fatal("embedding not found")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import "fmt"
+
+// ProjectivePlaneIncidence returns the point–line incidence graph of the
+// projective plane PG(2,q) for a prime q: a bipartite, (q+1)-regular
+// graph on 2(q²+q+1) vertices with girth 6. These are the extremal
+// C4-free graphs — their edge count (q+1)(q²+q+1) ≈ ½·n^{3/2} attains
+// the Reiman bound — which makes them the hardest sound instances for
+// the even-cycle detector's Turán-threshold logic (Section 6's
+// "reject when |E| > M" is only sound because ex(n, C4) < M).
+//
+// Vertices 0..N-1 are points, N..2N-1 are lines (N = q²+q+1), with point
+// (x:y:z) on line [a:b:c] iff ax+by+cz ≡ 0 (mod q).
+func ProjectivePlaneIncidence(q int) *Graph {
+	if q < 2 || !isPrime(q) {
+		panic(fmt.Sprintf("graph: ProjectivePlaneIncidence needs a prime q ≥ 2, got %d", q))
+	}
+	reps := projectivePoints(q)
+	n := len(reps) // q²+q+1
+	b := NewBuilder(2 * n)
+	for li, l := range reps {
+		for pi, p := range reps {
+			if (l[0]*p[0]+l[1]*p[1]+l[2]*p[2])%q == 0 {
+				b.AddEdge(pi, n+li)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// projectivePoints enumerates canonical representatives of PG(2,q):
+// (1:y:z), (0:1:z), (0:0:1).
+func projectivePoints(q int) [][3]int {
+	var reps [][3]int
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			reps = append(reps, [3]int{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		reps = append(reps, [3]int{0, 1, z})
+	}
+	reps = append(reps, [3]int{0, 0, 1})
+	return reps
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package graph
+
+import "testing"
+
+func TestProjectivePlaneStructure(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		g := ProjectivePlaneIncidence(q)
+		n := q*q + q + 1
+		if g.N() != 2*n {
+			t.Fatalf("q=%d: |V|=%d want %d", q, g.N(), 2*n)
+		}
+		if g.M() != (q+1)*n {
+			t.Fatalf("q=%d: |E|=%d want %d", q, g.M(), (q+1)*n)
+		}
+		// (q+1)-regular.
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d)=%d want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if ok, _ := g.IsBipartite(); !ok {
+			t.Fatalf("q=%d: incidence graph not bipartite", q)
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Fatalf("q=%d: girth %d want 6", q, girth)
+		}
+	}
+}
+
+func TestProjectivePlaneIsC4Free(t *testing.T) {
+	g := ProjectivePlaneIncidence(3)
+	if ContainsCycleLen(g, 4) {
+		t.Fatal("PG(2,3) incidence graph contains C4")
+	}
+	if !ContainsCycleLen(g, 6) {
+		t.Fatal("PG(2,3) incidence graph lacks C6")
+	}
+}
+
+func TestProjectivePlaneNearExtremal(t *testing.T) {
+	// Fano plane: n=14, m=21; Reiman's bound at n=14 is
+	// (14/4)(1+sqrt(53)) ≈ 28.9 — extremal up to lower-order terms, and
+	// certainly above half the bound.
+	g := ProjectivePlaneIncidence(2)
+	if g.N() != 14 || g.M() != 21 {
+		t.Fatalf("Fano: %v", g)
+	}
+}
+
+func TestProjectivePlaneRejectsComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q=4")
+		}
+	}()
+	ProjectivePlaneIncidence(4)
+}

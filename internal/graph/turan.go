@@ -1,0 +1,45 @@
+package graph
+
+import "math"
+
+// Turán-number bounds. For a fixed H, ex(n,H) is the maximum number of
+// edges in an H-free graph on n vertices. The even-cycle algorithm
+// (Section 6) needs an upper bound M ≥ ex(n, C_2k) = O(n^{1+1/k})
+// (Bondy–Simonovits; constant sharpened by Bukh–Jiang [5]).
+
+// ExEvenCycleUpper returns c · n^{1+1/k}, an upper-bound template for
+// ex(n, C_2k). The true asymptotic constant (≈ 80·sqrt(k)·log k from [5])
+// would dwarf n at simulable sizes, so the constant is a parameter; see
+// DESIGN.md §4.2.
+func ExEvenCycleUpper(n, k int, c float64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Ceil(c * math.Pow(float64(n), 1+1/float64(k))))
+}
+
+// ExCompleteUpper returns the exact Turán number ex(n, K_s): the edge count
+// of the Turán graph T(n, s-1), i.e. the complete (s-1)-partite graph with
+// balanced parts.
+func ExCompleteUpper(n, s int) int {
+	if s < 2 || n <= 0 {
+		return 0
+	}
+	r := s - 1 // number of parts
+	if r >= n {
+		return n * (n - 1) / 2
+	}
+	// Parts of size q or q+1: n = q·r + rem.
+	q, rem := n/r, n%r
+	// Total pairs minus within-part pairs.
+	within := rem*(q+1)*q/2 + (r-rem)*q*(q-1)/2
+	return n*(n-1)/2 - within
+}
+
+// KsUpperBound returns the Lemma 1.3 bound template: the number of copies
+// of K_s in any graph with m edges is at most (2m)^{s/2} / s! · s^{s/2}
+// — we expose the clean dominating form m^{s/2} that the paper states
+// (with constant 1 absorbed); callers compare measured counts against it.
+func KsUpperBound(m int64, s int) float64 {
+	return math.Pow(float64(m), float64(s)/2)
+}

@@ -1,0 +1,143 @@
+// Package hypergraph implements the 3-uniform 3-partite hypergraphs used by
+// the Section 4 adversary. An edge is a triple (u0, u1, u2) with u_i drawn
+// from part i; the adversary needs to find K^(3)(2) — the complete
+// 3-partite 3-uniform hypergraph with two vertices per part, i.e. six
+// vertices {u0,u0'},{u1,u1'},{u2,u2'} such that all eight combination
+// triples are edges (Erdős [11], Theorem 4.2 in the paper guarantees one
+// exists whenever the edge count exceeds n^{2.75}).
+package hypergraph
+
+import "fmt"
+
+// Tripartite is a 3-uniform 3-partite hypergraph. Vertices of part i are
+// integers 0..sizes[i]-1, in per-part namespaces.
+type Tripartite struct {
+	sizes [3]int
+	// edges[u0] is a set of packed (u1,u2) pairs for fast membership.
+	edges []map[int64]struct{}
+	m     int
+}
+
+// NewTripartite creates an empty hypergraph with the given part sizes.
+func NewTripartite(n0, n1, n2 int) *Tripartite {
+	if n0 < 0 || n1 < 0 || n2 < 0 {
+		panic("hypergraph: negative part size")
+	}
+	return &Tripartite{
+		sizes: [3]int{n0, n1, n2},
+		edges: make([]map[int64]struct{}, n0),
+	}
+}
+
+// PartSize returns the size of part i (0..2).
+func (h *Tripartite) PartSize(i int) int { return h.sizes[i] }
+
+// M returns the number of hyperedges.
+func (h *Tripartite) M() int { return h.m }
+
+func (h *Tripartite) pack(u1, u2 int) int64 {
+	return int64(u1)*int64(h.sizes[2]) + int64(u2)
+}
+
+// AddEdge inserts the triple (u0,u1,u2); duplicates are ignored.
+func (h *Tripartite) AddEdge(u0, u1, u2 int) {
+	if u0 < 0 || u0 >= h.sizes[0] || u1 < 0 || u1 >= h.sizes[1] || u2 < 0 || u2 >= h.sizes[2] {
+		panic(fmt.Sprintf("hypergraph: edge (%d,%d,%d) out of range %v", u0, u1, u2, h.sizes))
+	}
+	if h.edges[u0] == nil {
+		h.edges[u0] = make(map[int64]struct{})
+	}
+	key := h.pack(u1, u2)
+	if _, dup := h.edges[u0][key]; !dup {
+		h.edges[u0][key] = struct{}{}
+		h.m++
+	}
+}
+
+// HasEdge reports whether (u0,u1,u2) is an edge.
+func (h *Tripartite) HasEdge(u0, u1, u2 int) bool {
+	if u0 < 0 || u0 >= h.sizes[0] {
+		return false
+	}
+	_, ok := h.edges[u0][h.pack(u1, u2)]
+	return ok
+}
+
+// K32 describes a complete tripartite sub-hypergraph with two vertices per
+// part: all eight triples over {U0[0],U0[1]}×{U1[0],U1[1]}×{U2[0],U2[1]}
+// are edges.
+type K32 struct {
+	U0, U1, U2 [2]int
+}
+
+// FindK32 searches for a K^(3)(2). It returns the witness and true if one
+// exists. Strategy: for each pair (a,a') in part 0, form the bipartite
+// "common link" graph on part1×part2 pairs present in both links, then look
+// for a C4 (two part-1 vertices sharing two part-2 vertices) inside it.
+// Runtime O(n0² · L) where L is the max link size — fine at adversary scale.
+func (h *Tripartite) FindK32() (K32, bool) {
+	n0 := h.sizes[0]
+	for a := 0; a < n0; a++ {
+		if len(h.edges[a]) == 0 {
+			continue
+		}
+		for b := a + 1; b < n0; b++ {
+			if len(h.edges[b]) == 0 {
+				continue
+			}
+			// Intersect links; build adjacency part1 → part2 list.
+			small, large := h.edges[a], h.edges[b]
+			if len(large) < len(small) {
+				small, large = large, small
+			}
+			link := make(map[int][]int)
+			for key := range small {
+				if _, ok := large[key]; ok {
+					u1 := int(key) / h.sizes[2]
+					u2 := int(key) % h.sizes[2]
+					link[u1] = append(link[u1], u2)
+				}
+			}
+			// C4 search: two part-1 vertices whose part-2 lists share ≥ 2.
+			// Classic "pair marking": for each u1, mark all part-2 pairs;
+			// a repeated pair across different u1's is a C4.
+			seenPair := make(map[int64]int) // packed u2 pair → first u1
+			for u1, l2 := range link {
+				for i := 0; i < len(l2); i++ {
+					for j := i + 1; j < len(l2); j++ {
+						x, y := l2[i], l2[j]
+						if x > y {
+							x, y = y, x
+						}
+						key := int64(x)*int64(h.sizes[2]) + int64(y)
+						if prev, ok := seenPair[key]; ok && prev != u1 {
+							return K32{
+								U0: [2]int{a, b},
+								U1: [2]int{prev, u1},
+								U2: [2]int{x, y},
+							}, true
+						}
+						if _, ok := seenPair[key]; !ok {
+							seenPair[key] = u1
+						}
+					}
+				}
+			}
+		}
+	}
+	return K32{}, false
+}
+
+// VerifyK32 checks that all 8 triples of w are edges of h.
+func (h *Tripartite) VerifyK32(w K32) bool {
+	for _, a := range w.U0 {
+		for _, b := range w.U1 {
+			for _, c := range w.U2 {
+				if !h.HasEdge(a, b, c) {
+					return false
+				}
+			}
+		}
+	}
+	return w.U0[0] != w.U0[1] && w.U1[0] != w.U1[1] && w.U2[0] != w.U2[1]
+}

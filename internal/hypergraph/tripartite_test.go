@@ -1,0 +1,122 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddHasEdge(t *testing.T) {
+	h := NewTripartite(3, 4, 5)
+	h.AddEdge(0, 1, 2)
+	h.AddEdge(0, 1, 2) // duplicate ignored
+	h.AddEdge(2, 3, 4)
+	if h.M() != 2 {
+		t.Fatalf("M=%d", h.M())
+	}
+	if !h.HasEdge(0, 1, 2) || !h.HasEdge(2, 3, 4) {
+		t.Fatal("edges missing")
+	}
+	if h.HasEdge(1, 1, 2) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTripartite(2, 2, 2).AddEdge(0, 2, 0)
+}
+
+func TestFindK32Planted(t *testing.T) {
+	h := NewTripartite(10, 10, 10)
+	// Plant the complete tripartite on {1,7},{2,8},{3,9}.
+	for _, a := range []int{1, 7} {
+		for _, b := range []int{2, 8} {
+			for _, c := range []int{3, 9} {
+				h.AddEdge(a, b, c)
+			}
+		}
+	}
+	// Noise edges.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		h.AddEdge(rng.Intn(10), rng.Intn(10), rng.Intn(10))
+	}
+	w, ok := h.FindK32()
+	if !ok {
+		t.Fatal("planted K32 not found")
+	}
+	if !h.VerifyK32(w) {
+		t.Fatalf("witness invalid: %+v", w)
+	}
+}
+
+func TestFindK32Absent(t *testing.T) {
+	// A "matching" hypergraph (disjoint triples) has no K32.
+	h := NewTripartite(8, 8, 8)
+	for i := 0; i < 8; i++ {
+		h.AddEdge(i, i, i)
+	}
+	if _, ok := h.FindK32(); ok {
+		t.Fatal("K32 found in matching")
+	}
+}
+
+func TestFindK32NeedsAllEight(t *testing.T) {
+	h := NewTripartite(4, 4, 4)
+	// Seven of the eight triples — one missing must block detection.
+	count := 0
+	for _, a := range []int{0, 1} {
+		for _, b := range []int{0, 1} {
+			for _, c := range []int{0, 1} {
+				count++
+				if count == 8 {
+					continue
+				}
+				h.AddEdge(a, b, c)
+			}
+		}
+	}
+	if _, ok := h.FindK32(); ok {
+		t.Fatal("K32 found with only 7/8 triples")
+	}
+}
+
+func TestErdosDensityFindsK32(t *testing.T) {
+	// Theorem 4.2 (r=3, ℓ=2): any 3-partite 3-graph with > n^{2.75} edges
+	// contains K^(3)(2). Take n=8 per part: n^2.75 ≈ 305 < 8³=512. A dense
+	// random hypergraph at ~70% density has ~358 edges and must contain one
+	// with overwhelming probability — and certainly at full density.
+	h := NewTripartite(8, 8, 8)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			for c := 0; c < 8; c++ {
+				h.AddEdge(a, b, c)
+			}
+		}
+	}
+	w, ok := h.FindK32()
+	if !ok {
+		t.Fatal("complete hypergraph has no K32?")
+	}
+	if !h.VerifyK32(w) {
+		t.Fatal("invalid witness")
+	}
+}
+
+func TestVerifyK32RejectsDegenerate(t *testing.T) {
+	h := NewTripartite(4, 4, 4)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				h.AddEdge(a, b, c)
+			}
+		}
+	}
+	if h.VerifyK32(K32{U0: [2]int{1, 1}, U1: [2]int{0, 1}, U2: [2]int{0, 1}}) {
+		t.Fatal("degenerate witness accepted")
+	}
+}

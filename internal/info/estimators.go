@@ -1,0 +1,77 @@
+package info
+
+import "math"
+
+// Estimation quality helpers for the Section 5 measurements: plug-in
+// entropy estimates are biased downward by ≈ (K-1)/(2N ln 2) bits
+// (Miller–Madow), which matters when qualifying small mutual-information
+// readings against the Lemma 5.4 cap.
+
+// MillerMadowEntropy returns the bias-corrected entropy estimate
+// H_plugin + (K-1)/(2N ln 2), where K is the observed support size.
+func (d *Dist[T]) MillerMadowEntropy() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return d.Entropy() + float64(d.Support()-1)/(2*float64(d.total)*math.Ln2)
+}
+
+// MIBiasBound returns the classic upper bound on the plug-in MI
+// estimator's bias for a joint distribution over supports Kx × Ky with N
+// samples: (Kx·Ky - Kx - Ky + 1) / (2N ln 2) bits. Experiments subtract
+// it when deciding whether a small measured MI is distinguishable from
+// zero.
+func (j *Joint[X, Y]) MIBiasBound() float64 {
+	if j.n == 0 {
+		return 0
+	}
+	kx, ky := len(j.x), len(j.y)
+	return float64(kx*ky-kx-ky+1) / (2 * float64(j.n) * math.Ln2)
+}
+
+// KLDivergence returns D(d‖q) in bits for two distributions over the
+// same outcome space; outcomes where d has mass but q does not make the
+// divergence +Inf.
+func KLDivergence[T comparable](d, q *Dist[T]) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for x, c := range d.counts {
+		p := float64(c) / float64(d.total)
+		qq := q.P(x)
+		if qq == 0 {
+			return math.Inf(1)
+		}
+		sum += p * math.Log2(p/qq)
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// TotalVariation returns TV(d, q) = ½·Σ|p(x)-q(x)| over the union of
+// supports.
+func TotalVariation[T comparable](d, q *Dist[T]) float64 {
+	seen := map[T]bool{}
+	sum := 0.0
+	for x := range d.counts {
+		seen[x] = true
+		sum += math.Abs(d.P(x) - q.P(x))
+	}
+	for x := range q.counts {
+		if !seen[x] {
+			sum += q.P(x)
+		}
+	}
+	return sum / 2
+}
+
+// PinskersBound returns the Pinsker lower bound on KL divergence implied
+// by a total-variation distance: KL ≥ 2·TV² / ln 2 (in bits). The
+// Lemma 5.3 "change in behavior → information" step is an instance of
+// this direction of reasoning.
+func PinskersBound(tv float64) float64 {
+	return 2 * tv * tv / math.Ln2
+}

@@ -1,0 +1,128 @@
+package info
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMillerMadowReducesBias(t *testing.T) {
+	// Uniform over 8 outcomes, few samples: the plug-in estimate
+	// underestimates H=3; the corrected one must be closer on average.
+	rng := rand.New(rand.NewSource(1))
+	var plugSum, mmSum float64
+	const trials, samples = 200, 60
+	for i := 0; i < trials; i++ {
+		d := NewDist[int]()
+		for j := 0; j < samples; j++ {
+			d.Observe(rng.Intn(8))
+		}
+		plugSum += d.Entropy()
+		mmSum += d.MillerMadowEntropy()
+	}
+	plug, mm := plugSum/trials, mmSum/trials
+	if !(plug < 3.0) {
+		t.Fatalf("plug-in estimate %f not biased low?", plug)
+	}
+	if math.Abs(mm-3.0) >= math.Abs(plug-3.0) {
+		t.Fatalf("correction did not help: plug %f mm %f", plug, mm)
+	}
+}
+
+func TestMIBiasBoundShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small, large := NewJoint[int, int](), NewJoint[int, int]()
+	for i := 0; i < 100; i++ {
+		small.Observe(rng.Intn(3), rng.Intn(3))
+	}
+	for i := 0; i < 10000; i++ {
+		large.Observe(rng.Intn(3), rng.Intn(3))
+	}
+	if small.MIBiasBound() <= large.MIBiasBound() {
+		t.Fatalf("bias bound did not shrink: %f vs %f", small.MIBiasBound(), large.MIBiasBound())
+	}
+	// Independent draws: the measured MI should be within the bias bound
+	// (plus slack) of zero for the large sample.
+	if large.MutualInformation() > large.MIBiasBound()+0.01 {
+		t.Fatalf("independent MI %f above bias bound %f", large.MutualInformation(), large.MIBiasBound())
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p, q := NewDist[int](), NewDist[int]()
+	for i := 0; i < 1000; i++ {
+		p.Observe(i % 2)     // uniform on {0,1}
+		q.Observe(i % 4 % 2) // also uniform on {0,1}
+	}
+	if kl := KLDivergence(p, q); kl > 1e-9 {
+		t.Fatalf("KL between identical distributions: %f", kl)
+	}
+	// Disjoint support → +Inf.
+	r := NewDist[int]()
+	r.Observe(7)
+	if !math.IsInf(KLDivergence(r, p), 1) {
+		t.Fatal("missing-support KL not infinite")
+	}
+	// Biased vs uniform: KL(Bern(0.9) ‖ Bern(0.5)) = 1 - H(0.9).
+	b, u := NewDist[int](), NewDist[int]()
+	for i := 0; i < 10000; i++ {
+		if i%10 == 0 {
+			b.Observe(0)
+		} else {
+			b.Observe(1)
+		}
+		u.Observe(i % 2)
+	}
+	want := 1 - BinaryEntropy(0.9)
+	if kl := KLDivergence(b, u); math.Abs(kl-want) > 0.01 {
+		t.Fatalf("KL %f want %f", kl, want)
+	}
+}
+
+func TestTotalVariationAndPinsker(t *testing.T) {
+	p, q := NewDist[int](), NewDist[int]()
+	for i := 0; i < 1000; i++ {
+		p.Observe(0)
+		q.Observe(i % 2)
+	}
+	// TV(δ₀, uniform{0,1}) = 1/2.
+	if tv := TotalVariation(p, q); math.Abs(tv-0.5) > 1e-9 {
+		t.Fatalf("TV %f want 0.5", tv)
+	}
+	if PinskersBound(0.5) <= 0 {
+		t.Fatal("Pinsker bound nonpositive")
+	}
+}
+
+// Property: Pinsker's inequality holds for empirical pairs on a common
+// support.
+func TestQuickPinskerConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := NewDist[int](), NewDist[int]()
+		biasP, biasQ := rng.Float64(), rng.Float64()
+		for i := 0; i < 4000; i++ {
+			if rng.Float64() < biasP {
+				p.Observe(1)
+			} else {
+				p.Observe(0)
+			}
+			if rng.Float64() < biasQ {
+				q.Observe(1)
+			} else {
+				q.Observe(0)
+			}
+		}
+		// Both supports must cover {0,1} for finite KL.
+		if p.Support() < 2 || q.Support() < 2 {
+			return true
+		}
+		kl := KLDivergence(p, q)
+		tv := TotalVariation(p, q)
+		return kl+1e-9 >= PinskersBound(tv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

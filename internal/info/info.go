@@ -1,0 +1,174 @@
+// Package info provides the elementary information-theoretic quantities
+// used by the Section 5 experiment: empirical Shannon entropy, mutual
+// information and conditional mutual information, computed by plug-in
+// estimation over discrete samples.
+//
+// Samples are pairs/triples of comparable values; callers hash protocol
+// messages and inputs into strings or ints before estimation.
+package info
+
+import "math"
+
+// Dist is an empirical distribution over arbitrary comparable outcomes.
+type Dist[T comparable] struct {
+	counts map[T]int
+	total  int
+}
+
+// NewDist returns an empty distribution.
+func NewDist[T comparable]() *Dist[T] {
+	return &Dist[T]{counts: make(map[T]int)}
+}
+
+// Observe records one sample.
+func (d *Dist[T]) Observe(x T) {
+	d.counts[x]++
+	d.total++
+}
+
+// N returns the number of samples observed.
+func (d *Dist[T]) N() int { return d.total }
+
+// P returns the empirical probability of x.
+func (d *Dist[T]) P(x T) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.counts[x]) / float64(d.total)
+}
+
+// Entropy returns the plug-in Shannon entropy in bits.
+func (d *Dist[T]) Entropy() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(d.total)
+	for _, c := range d.counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Support returns the number of distinct observed outcomes.
+func (d *Dist[T]) Support() int { return len(d.counts) }
+
+// Joint is an empirical joint distribution over pairs (X, Y).
+type Joint[X, Y comparable] struct {
+	xy map[pair[X, Y]]int
+	x  map[X]int
+	y  map[Y]int
+	n  int
+}
+
+type pair[X, Y comparable] struct {
+	a X
+	b Y
+}
+
+// NewJoint returns an empty joint distribution.
+func NewJoint[X, Y comparable]() *Joint[X, Y] {
+	return &Joint[X, Y]{
+		xy: make(map[pair[X, Y]]int),
+		x:  make(map[X]int),
+		y:  make(map[Y]int),
+	}
+}
+
+// Observe records one joint sample (x, y).
+func (j *Joint[X, Y]) Observe(x X, y Y) {
+	j.xy[pair[X, Y]{x, y}]++
+	j.x[x]++
+	j.y[y]++
+	j.n++
+}
+
+// N returns the number of samples.
+func (j *Joint[X, Y]) N() int { return j.n }
+
+// MutualInformation returns the plug-in estimate of I(X;Y) in bits:
+// Σ p(x,y) log2( p(x,y) / (p(x)p(y)) ). Always ≥ 0 up to floating error.
+func (j *Joint[X, Y]) MutualInformation() float64 {
+	if j.n == 0 {
+		return 0
+	}
+	n := float64(j.n)
+	mi := 0.0
+	for k, c := range j.xy {
+		pxy := float64(c) / n
+		px := float64(j.x[k.a]) / n
+		py := float64(j.y[k.b]) / n
+		mi += pxy * math.Log2(pxy/(px*py))
+	}
+	if mi < 0 {
+		return 0 // clamp floating-point dust
+	}
+	return mi
+}
+
+// EntropyX returns the marginal entropy H(X).
+func (j *Joint[X, Y]) EntropyX() float64 { return marginalEntropy(j.x, j.n) }
+
+// EntropyY returns the marginal entropy H(Y).
+func (j *Joint[X, Y]) EntropyY() float64 { return marginalEntropy(j.y, j.n) }
+
+func marginalEntropy[T comparable](counts map[T]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(total)
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Conditional is an empirical distribution of (X, Y) conditioned on a
+// discrete Z: a Joint per observed z, for conditional mutual information
+// I(X;Y|Z) = E_z[ I(X;Y | Z=z) ].
+type Conditional[X, Y, Z comparable] struct {
+	byZ map[Z]*Joint[X, Y]
+	n   int
+}
+
+// NewConditional returns an empty conditional distribution.
+func NewConditional[X, Y, Z comparable]() *Conditional[X, Y, Z] {
+	return &Conditional[X, Y, Z]{byZ: make(map[Z]*Joint[X, Y])}
+}
+
+// Observe records a sample (x, y, z).
+func (c *Conditional[X, Y, Z]) Observe(x X, y Y, z Z) {
+	j, ok := c.byZ[z]
+	if !ok {
+		j = NewJoint[X, Y]()
+		c.byZ[z] = j
+	}
+	j.Observe(x, y)
+	c.n++
+}
+
+// N returns the number of samples.
+func (c *Conditional[X, Y, Z]) N() int { return c.n }
+
+// ConditionalMI returns the plug-in estimate of I(X;Y|Z) in bits.
+func (c *Conditional[X, Y, Z]) ConditionalMI() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, j := range c.byZ {
+		total += float64(j.n) / float64(c.n) * j.MutualInformation()
+	}
+	return total
+}
+
+// BinaryEntropy returns H(p) = -p log p - (1-p) log(1-p) in bits.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -1,0 +1,167 @@
+package info
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 0.05
+
+func TestEntropyUniform(t *testing.T) {
+	d := NewDist[int]()
+	for i := 0; i < 4000; i++ {
+		d.Observe(i % 4)
+	}
+	if h := d.Entropy(); math.Abs(h-2.0) > 1e-9 {
+		t.Fatalf("uniform-4 entropy %f", h)
+	}
+	if d.Support() != 4 || d.N() != 4000 {
+		t.Fatalf("support %d n %d", d.Support(), d.N())
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	d := NewDist[string]()
+	for i := 0; i < 100; i++ {
+		d.Observe("x")
+	}
+	if h := d.Entropy(); h != 0 {
+		t.Fatalf("constant entropy %f", h)
+	}
+	if NewDist[int]().Entropy() != 0 {
+		t.Fatal("empty entropy nonzero")
+	}
+}
+
+func TestDistP(t *testing.T) {
+	d := NewDist[int]()
+	d.Observe(1)
+	d.Observe(1)
+	d.Observe(2)
+	if p := d.P(1); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("P(1)=%f", p)
+	}
+	if p := d.P(9); p != 0 {
+		t.Fatalf("P(missing)=%f", p)
+	}
+}
+
+func TestMIIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	j := NewJoint[int, int]()
+	for i := 0; i < 50000; i++ {
+		j.Observe(rng.Intn(2), rng.Intn(2))
+	}
+	if mi := j.MutualInformation(); mi > tol {
+		t.Fatalf("independent MI %f", mi)
+	}
+}
+
+func TestMIIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	j := NewJoint[int, int]()
+	for i := 0; i < 20000; i++ {
+		x := rng.Intn(2)
+		j.Observe(x, x)
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-1.0) > tol {
+		t.Fatalf("Y=X MI %f, want ~1", mi)
+	}
+}
+
+func TestMINoisyChannel(t *testing.T) {
+	// Binary symmetric channel with flip prob q: I = 1 - H(q).
+	rng := rand.New(rand.NewSource(3))
+	q := 0.1
+	j := NewJoint[int, int]()
+	for i := 0; i < 200000; i++ {
+		x := rng.Intn(2)
+		y := x
+		if rng.Float64() < q {
+			y = 1 - x
+		}
+		j.Observe(x, y)
+	}
+	want := 1 - BinaryEntropy(q)
+	if mi := j.MutualInformation(); math.Abs(mi-want) > tol {
+		t.Fatalf("BSC MI %f, want %f", mi, want)
+	}
+}
+
+func TestMarginalEntropies(t *testing.T) {
+	j := NewJoint[int, int]()
+	for i := 0; i < 400; i++ {
+		j.Observe(i%2, i%4)
+	}
+	if h := j.EntropyX(); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("H(X)=%f", h)
+	}
+	if h := j.EntropyY(); math.Abs(h-2) > 1e-9 {
+		t.Fatalf("H(Y)=%f", h)
+	}
+}
+
+func TestConditionalMI(t *testing.T) {
+	// X,Z iid uniform bits; Y = X xor Z. Then I(X;Y)=0 but I(X;Y|Z)=1.
+	rng := rand.New(rand.NewSource(4))
+	c := NewConditional[int, int, int]()
+	j := NewJoint[int, int]()
+	for i := 0; i < 100000; i++ {
+		x, z := rng.Intn(2), rng.Intn(2)
+		y := x ^ z
+		c.Observe(x, y, z)
+		j.Observe(x, y)
+	}
+	if mi := j.MutualInformation(); mi > tol {
+		t.Fatalf("unconditional MI %f, want ~0", mi)
+	}
+	if cmi := c.ConditionalMI(); math.Abs(cmi-1) > tol {
+		t.Fatalf("conditional MI %f, want ~1", cmi)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if h := BinaryEntropy(0.5); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("H(1/2)=%f", h)
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Fatal("H(0) or H(1) nonzero")
+	}
+	if h := BinaryEntropy(0.11); math.Abs(h-0.499916) > 1e-4 {
+		t.Fatalf("H(0.11)=%f", h)
+	}
+}
+
+// Properties: MI is nonnegative and bounded by min(H(X), H(Y)).
+func TestQuickMIBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		j := NewJoint[int, int]()
+		kx, ky := 1+rng.Intn(4), 1+rng.Intn(4)
+		for i := 0; i < 2000; i++ {
+			x := rng.Intn(kx)
+			y := rng.Intn(ky)
+			if rng.Intn(2) == 0 {
+				y = x % ky // inject correlation sometimes
+			}
+			j.Observe(x, y)
+		}
+		mi := j.MutualInformation()
+		hx, hy := j.EntropyX(), j.EntropyY()
+		return mi >= 0 && mi <= hx+1e-9 && mi <= hy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyJointAndConditional(t *testing.T) {
+	if NewJoint[int, int]().MutualInformation() != 0 {
+		t.Fatal("empty joint MI nonzero")
+	}
+	if NewConditional[int, int, int]().ConditionalMI() != 0 {
+		t.Fatal("empty conditional MI nonzero")
+	}
+}

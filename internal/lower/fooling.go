@@ -1,0 +1,334 @@
+package lower
+
+import (
+	"fmt"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+	"subgraph/internal/hypergraph"
+)
+
+// Section 4: the deterministic triangle-vs-hexagon adversary behind
+// Theorem 4.1. Given a deterministic algorithm A that is correct on every
+// triangle (every node rejects — after the A → A' decision-exchange
+// transformation of Claim 4.3), the adversary:
+//
+//  1. enumerates all triangles △(u0,u1,u2) over a namespace split
+//     N0 × N1 × N2 and records each run's complete transcript
+//     Tr(u0)‖Tr(u1)‖Tr(u2), where Tr(u) concatenates u's messages to its
+//     (i+1 mod 3)-part neighbor round by round, then to its (i+2 mod 3)-
+//     part neighbor (the parse-unique ordering of Section 4);
+//  2. buckets triangles by transcript and takes a largest class S_t —
+//     pigeonhole gives |S_t| ≥ n³ / 2^{6(C+1)};
+//  3. views S_t as a 3-partite 3-uniform hypergraph and searches for
+//     K^(3)(2) (Erdős's theorem guarantees one when |S_t| > n^{2.75},
+//     i.e. when C ≲ log(n)/60);
+//  4. splices the six witnesses into the hexagon u0,u1,u2,u0',u1',u2' and
+//     reruns A' on it: every node's view is consistent with one of the
+//     S_t triangles, so the triangle nodes' reject decisions replay and
+//     the algorithm wrongly rejects a triangle-free graph.
+
+// FoolingAlgorithm describes a deterministic algorithm under attack.
+type FoolingAlgorithm struct {
+	// Name labels the algorithm in reports.
+	Name string
+	// Rounds is the number of communication rounds of A; the A'
+	// decision-exchange adds one more.
+	Rounds int
+	// B is the per-edge bandwidth to run under.
+	B int
+	// Factory creates one node program. It must be deterministic: no use
+	// of Env.Rand.
+	Factory func() congest.Node
+}
+
+// FoolingReport is the adversary's outcome.
+type FoolingReport struct {
+	// PartSize is n = |N_i| (namespace size 3n).
+	PartSize int
+	// MaxNodeBits is the observed worst-case total bits sent by a node
+	// over all triangle runs — the C of Theorem 4.1.
+	MaxNodeBits int
+	// MinNodeBitsRound is the minimum bits a node sent in any round (the
+	// "at least one bit per round" assumption; 0 indicates a violation).
+	MinNodeBitsRound int
+	// Classes is the number of distinct transcripts observed.
+	Classes int
+	// LargestClass is |S_t|.
+	LargestClass int
+	// TrianglesAllReject confirms Claim 4.3 held on every triangle.
+	TrianglesAllReject bool
+	// K32Found reports whether the adversary found the splice witness.
+	K32Found bool
+	// Hexagon holds the six spliced identifiers (u0,u1,u2,u0',u1',u2')
+	// when K32Found.
+	Hexagon [6]congest.NodeID
+	// Fooled reports whether some hexagon node rejected — the lower
+	// bound's contradiction.
+	Fooled bool
+}
+
+// aprimeNode applies the Claim 4.3 transformation: run the inner algorithm
+// for its Rounds rounds plus one decision round, then exchange decisions
+// for one extra round and reject iff this node or any neighbor rejected.
+type aprimeNode struct {
+	inner  congest.Node
+	rounds int
+}
+
+func (ap *aprimeNode) Init(env *congest.Env) { ap.inner.Init(env) }
+
+func (ap *aprimeNode) Round(env *congest.Env, inbox []congest.Message) {
+	switch {
+	case env.Round() <= ap.rounds:
+		ap.inner.Round(env, inbox)
+		if env.Round() == ap.rounds {
+			// Decision-exchange round of A': announce A's decision.
+			bit := uint64(0)
+			if env.Decision() == congest.Reject {
+				bit = 1
+			}
+			env.Broadcast(bitio.Uint(bit, 1))
+		}
+	default:
+		for _, m := range inbox {
+			if m.Payload.Len() == 1 && m.Payload.Bit(0) == 1 {
+				env.Reject()
+			}
+		}
+		env.Halt()
+	}
+}
+
+// runOn executes A' on the cycle graph with the given identifier
+// assignment (a triangle for 3 ids, a hexagon for 6) and returns the
+// result with a transcript.
+func (alg *FoolingAlgorithm) runOn(ids []congest.NodeID) (*congest.Result, error) {
+	g := graph.Cycle(len(ids))
+	nw := congest.NewNetworkWithIDs(g, ids)
+	factory := func() congest.Node {
+		return &aprimeNode{inner: alg.Factory(), rounds: alg.Rounds}
+	}
+	return congest.Run(nw, factory, congest.Config{
+		B:                alg.B,
+		MaxRounds:        alg.Rounds + 2,
+		RecordTranscript: true,
+	})
+}
+
+// nodeTranscript extracts Tr(u): all of u's messages to `first`, round by
+// round, followed by its messages to `second`.
+func nodeTranscript(tr *congest.Transcript, u, first, second congest.NodeID) bitio.BitString {
+	w := bitio.NewWriter()
+	for _, to := range []congest.NodeID{first, second} {
+		for _, round := range tr.Rounds {
+			for _, m := range round {
+				if m.From == u && m.To == to {
+					w.WriteBits(m.Payload)
+				}
+			}
+		}
+	}
+	return w.BitString()
+}
+
+// triangleTranscript builds the full parse-unique transcript of a triangle
+// run on (u0,u1,u2): Tr(u0)‖Tr(u1)‖Tr(u2), with each Tr ordering messages
+// to the (i+1)-part neighbor before the (i+2)-part neighbor.
+func triangleTranscript(tr *congest.Transcript, ids [3]congest.NodeID) string {
+	w := bitio.NewWriter()
+	for i := 0; i < 3; i++ {
+		w.WriteBits(nodeTranscript(tr, ids[i], ids[(i+1)%3], ids[(i+2)%3]))
+	}
+	return w.BitString().String()
+}
+
+// RunFoolingAdversary executes the Section 4 adversary with namespace
+// parts N0 = {0..n-1}, N1 = {n..2n-1}, N2 = {2n..3n-1}.
+func RunFoolingAdversary(alg *FoolingAlgorithm, n int) (*FoolingReport, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("lower: part size must be ≥ 2")
+	}
+	rep := &FoolingReport{
+		PartSize:           n,
+		TrianglesAllReject: true,
+		MinNodeBitsRound:   1 << 30,
+	}
+	classes := make(map[string][][3]int)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				ids := [3]congest.NodeID{
+					congest.NodeID(a),
+					congest.NodeID(n + b),
+					congest.NodeID(2*n + c),
+				}
+				res, err := alg.runOn(ids[:])
+				if err != nil {
+					return nil, err
+				}
+				for _, d := range res.Decisions {
+					if d != congest.Reject {
+						rep.TrianglesAllReject = false
+					}
+				}
+				for _, bits := range res.Stats.PerNodeBits {
+					if int(bits) > rep.MaxNodeBits {
+						rep.MaxNodeBits = int(bits)
+					}
+				}
+				if mi := minRoundBits(res); mi < rep.MinNodeBitsRound {
+					rep.MinNodeBitsRound = mi
+				}
+				t := triangleTranscript(res.Transcript, ids)
+				classes[t] = append(classes[t], [3]int{a, b, c})
+			}
+		}
+	}
+	rep.Classes = len(classes)
+	var best [][3]int
+	for _, tri := range classes {
+		if len(tri) > len(best) {
+			best = tri
+		}
+	}
+	rep.LargestClass = len(best)
+
+	w, found := findK32InClass(best, n)
+	rep.K32Found = found
+	if !found {
+		return rep, nil
+	}
+	// Splice the hexagon u0,u1,u2,u0',u1',u2' (cycle order).
+	hex := [6]congest.NodeID{
+		congest.NodeID(w.U0[0]),
+		congest.NodeID(n + w.U1[0]),
+		congest.NodeID(2*n + w.U2[0]),
+		congest.NodeID(w.U0[1]),
+		congest.NodeID(n + w.U1[1]),
+		congest.NodeID(2*n + w.U2[1]),
+	}
+	rep.Hexagon = hex
+	res, err := alg.runOn(hex[:])
+	if err != nil {
+		return nil, err
+	}
+	rep.Fooled = res.Rejected()
+	return rep, nil
+}
+
+// findK32InClass views a transcript class as a 3-partite 3-uniform
+// hypergraph and searches it for the K^(3)(2) splice witness.
+func findK32InClass(class [][3]int, n int) (hypergraph.K32, bool) {
+	hg := hypergraph.NewTripartite(n, n, n)
+	for _, t := range class {
+		hg.AddEdge(t[0], t[1], t[2])
+	}
+	return hg.FindK32()
+}
+
+// minRoundBits returns the minimum bits any non-halted node sent in any
+// round of the run (the ≥1-bit-per-round assumption check). The final
+// round (decision collection, where A' halts) is exempt.
+func minRoundBits(res *congest.Result) int {
+	if res.Transcript == nil || len(res.Transcript.Rounds) == 0 {
+		return 0
+	}
+	min := 1 << 30
+	rounds := res.Transcript.Rounds
+	for r := 0; r < len(rounds)-1; r++ {
+		perNode := map[congest.NodeID]int{}
+		for _, m := range rounds[r] {
+			perNode[m.From] += m.Payload.Len()
+		}
+		for _, bits := range perNode {
+			if bits < min {
+				min = bits
+			}
+		}
+		if len(perNode) == 0 {
+			return 0
+		}
+	}
+	return min
+}
+
+// LowBitsTriangleAlgorithm is the canonical algorithm family under attack:
+// each node sends the low c bits of its identifier to both neighbors
+// (round 1), then forwards to each neighbor the value heard from the other
+// side (round 2), and rejects iff the forwarded "two-hop" values match its
+// neighbors' claimed values — always true on a triangle (the two-hop
+// neighbor IS the other neighbor), and false on a hexagon unless the
+// adversary arranged collisions. With c ≥ ⌈log2(3n)⌉ the hash is the
+// identity and the algorithm is correct on hexagons too; Theorem 4.1 says
+// any correct algorithm needs Ω(log n) total bits, and the experiment
+// shows the adversary succeeding for small c and failing at c = idBits.
+func LowBitsTriangleAlgorithm(c int) *FoolingAlgorithm {
+	if c < 1 {
+		panic("lower: c must be ≥ 1")
+	}
+	return &FoolingAlgorithm{
+		Name:   fmt.Sprintf("low-%d-bits", c),
+		Rounds: 3,
+		B:      c + 1,
+		Factory: func() congest.Node {
+			return &lowBitsNode{c: c}
+		},
+	}
+}
+
+type lowBitsNode struct {
+	c        int
+	heard    map[congest.NodeID]uint64 // round-1 values by sender
+	expected map[congest.NodeID]uint64 // two-hop claims by forwarder
+}
+
+func (ln *lowBitsNode) hash(id congest.NodeID) uint64 {
+	return uint64(id) & (1<<uint(ln.c) - 1)
+}
+
+func (ln *lowBitsNode) Init(env *congest.Env) {
+	ln.heard = make(map[congest.NodeID]uint64)
+	ln.expected = make(map[congest.NodeID]uint64)
+}
+
+// Round schedule (A.Rounds = 3): round 1 announces the hash, round 2
+// forwards each side's announcement to the other side, round 3 absorbs
+// the forwarded two-hop claims and decides (sending nothing itself — the
+// A' wrapper's decision-bit broadcast keeps every round ≥ 1 bit).
+func (ln *lowBitsNode) Round(env *congest.Env, inbox []congest.Message) {
+	nbrs := env.Neighbors()
+	switch env.Round() {
+	case 1:
+		env.Broadcast(bitio.Uint(ln.hash(env.ID()), ln.c))
+	case 2:
+		for _, m := range inbox {
+			r := bitio.NewReader(m.Payload)
+			v, _ := r.ReadUint(ln.c)
+			ln.heard[m.From] = v
+		}
+		// Forward each side's value to the other side.
+		if len(nbrs) == 2 {
+			env.Send(nbrs[0], bitio.Uint(ln.heard[nbrs[1]], ln.c))
+			env.Send(nbrs[1], bitio.Uint(ln.heard[nbrs[0]], ln.c))
+		}
+	case 3:
+		for _, m := range inbox {
+			r := bitio.NewReader(m.Payload)
+			v, _ := r.ReadUint(ln.c)
+			ln.expected[m.From] = v
+		}
+		if len(nbrs) != 2 {
+			return
+		}
+		// The value forwarded by nbrs[0] claims to be the hash of my
+		// two-hop neighbor on that side; in a triangle that two-hop
+		// neighbor is nbrs[1], so the claim must equal hash(nbrs[1]) —
+		// and symmetrically. Always true on a triangle (Claim 4.3);
+		// false on a hexagon unless the hashes collide.
+		if ln.expected[nbrs[0]] == ln.hash(nbrs[1]) && ln.expected[nbrs[1]] == ln.hash(nbrs[0]) {
+			env.Reject()
+		}
+	}
+}

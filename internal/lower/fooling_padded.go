@@ -1,0 +1,212 @@
+package lower
+
+import (
+	"fmt"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+)
+
+// Section 4's padding remark: the triangle-vs-hexagon impossibility is
+// not an artifact of 3-node graphs — "it is easy to pad the graph to any
+// desired size of at most n < N/3 nodes, by, e.g., attaching a fixed line
+// of Θ(n) nodes to one of the triangle or hexagon nodes".
+//
+// Here each triangle instance is △(u0,u1,u2) with a line of `pad` nodes
+// attached to the N0-part node; the spliced hexagon carries one line on
+// each of its two N0-part nodes (every node's view must match its view in
+// some S_t triangle run, and both u0 and u0' had lines in theirs). Line
+// nodes run a content-oblivious relay (they send a constant zero bit), so
+// their messages are identical across instances regardless of their own
+// identifiers and the transcript pigeonhole is untouched.
+
+// paddedNode wraps the low-bits algorithm: degree-2 nodes with triangle
+// identifiers run the real algorithm ignoring line neighbors; line nodes
+// (identifier ≥ lineBase) relay a constant bit and always accept.
+type paddedNode struct {
+	inner    *lowBitsNode
+	lineBase congest.NodeID
+}
+
+func (pn *paddedNode) Init(env *congest.Env) { pn.inner.Init(env) }
+
+func (pn *paddedNode) isLine(id congest.NodeID) bool { return id >= pn.lineBase }
+
+func (pn *paddedNode) Round(env *congest.Env, inbox []congest.Message) {
+	if pn.isLine(env.ID()) {
+		// Keep the ≥1-bit-per-round discipline without carrying content.
+		env.Broadcast(bitio.Uint(0, 1))
+		return
+	}
+	// Triangle/hexagon node: filter the line neighbor out of both the
+	// inbox and the neighbor view before running the real algorithm.
+	var core []congest.Message
+	for _, m := range inbox {
+		if !pn.isLine(m.From) && m.Payload.Len() == pn.inner.c {
+			core = append(core, m)
+		}
+	}
+	pn.inner.RoundFiltered(env, core, pn.lineBase)
+}
+
+// RoundFiltered is lowBitsNode.Round with line neighbors excluded from
+// the neighbor set (the node still broadcasts on all edges — harmless
+// extra bits to the line, matching "send the same message on all edges").
+func (ln *lowBitsNode) RoundFiltered(env *congest.Env, inbox []congest.Message, lineBase congest.NodeID) {
+	var nbrs []congest.NodeID
+	for _, nb := range env.Neighbors() {
+		if nb < lineBase {
+			nbrs = append(nbrs, nb)
+		}
+	}
+	switch env.Round() {
+	case 1:
+		env.Broadcast(bitio.Uint(ln.hash(env.ID()), ln.c))
+	case 2:
+		for _, m := range inbox {
+			r := bitio.NewReader(m.Payload)
+			v, _ := r.ReadUint(ln.c)
+			ln.heard[m.From] = v
+		}
+		if len(nbrs) == 2 {
+			env.Send(nbrs[0], bitio.Uint(ln.heard[nbrs[1]], ln.c))
+			env.Send(nbrs[1], bitio.Uint(ln.heard[nbrs[0]], ln.c))
+		}
+	case 3:
+		for _, m := range inbox {
+			r := bitio.NewReader(m.Payload)
+			v, _ := r.ReadUint(ln.c)
+			ln.expected[m.From] = v
+		}
+		if len(nbrs) != 2 {
+			return
+		}
+		if ln.expected[nbrs[0]] == ln.hash(nbrs[1]) && ln.expected[nbrs[1]] == ln.hash(nbrs[0]) {
+			env.Reject()
+		}
+	}
+}
+
+// PaddedFoolingReport extends the adversary's outcome with the padding
+// parameters.
+type PaddedFoolingReport struct {
+	*FoolingReport
+	// Pad is the line length attached to each N0-part node.
+	Pad int
+	// TriangleSize / HexagonSize are the padded instance sizes.
+	TriangleSize, HexagonSize int
+}
+
+// RunPaddedFoolingAdversary runs the Section 4 adversary on padded
+// instances: every enumerated triangle carries a `pad`-node line on its
+// N0 node, and the spliced hexagon carries one line on each N0 node.
+func RunPaddedFoolingAdversary(c, n, pad int) (*PaddedFoolingReport, error) {
+	if n < 2 || pad < 1 {
+		return nil, fmt.Errorf("lower: need part size ≥ 2 and pad ≥ 1")
+	}
+	hashBits := c
+	lineBase := congest.NodeID(3 * n)
+	algRounds := 3
+
+	runPadded := func(coreIDs []congest.NodeID, lines int) (*congest.Result, error) {
+		k := len(coreIDs)
+		total := k + lines*pad
+		b := graph.NewBuilder(total)
+		ids := make([]congest.NodeID, total)
+		copy(ids, coreIDs)
+		for i := 0; i < k; i++ {
+			b.AddEdge(i, (i+1)%k)
+		}
+		// Lines attach to the N0-part core nodes (positions 0 and, for
+		// the hexagon, 3).
+		attach := []int{0, 3}
+		for l := 0; l < lines; l++ {
+			base := k + l*pad
+			b.AddEdge(attach[l], base)
+			ids[base] = lineBase + congest.NodeID(l*pad)
+			for j := 1; j < pad; j++ {
+				b.AddEdge(base+j-1, base+j)
+				ids[base+j] = lineBase + congest.NodeID(l*pad+j)
+			}
+		}
+		nw := congest.NewNetworkWithIDs(b.Build(), ids)
+		factory := func() congest.Node {
+			return &aprimeNode{
+				inner:  &paddedNode{inner: &lowBitsNode{c: hashBits}, lineBase: lineBase},
+				rounds: algRounds,
+			}
+		}
+		return congest.Run(nw, factory, congest.Config{
+			B:                hashBits + 1,
+			MaxRounds:        algRounds + 2,
+			RecordTranscript: true,
+		})
+	}
+
+	rep := &PaddedFoolingReport{
+		FoolingReport: &FoolingReport{PartSize: n, TrianglesAllReject: true, MinNodeBitsRound: 1 << 30},
+		Pad:           pad,
+		TriangleSize:  3 + pad,
+		HexagonSize:   6 + 2*pad,
+	}
+	classes := make(map[string][][3]int)
+	for a := 0; a < n; a++ {
+		for bb := 0; bb < n; bb++ {
+			for cc := 0; cc < n; cc++ {
+				ids := [3]congest.NodeID{
+					congest.NodeID(a), congest.NodeID(n + bb), congest.NodeID(2*n + cc),
+				}
+				res, err := runPadded(ids[:], 1)
+				if err != nil {
+					return nil, err
+				}
+				// Claim 4.3 concerns the triangle nodes (the line nodes
+				// never reject; under A' the nodes adjacent to a rejecting
+				// node also reject, which includes the first line node).
+				for v := 0; v < 3; v++ {
+					if res.Decisions[v] != congest.Reject {
+						rep.TrianglesAllReject = false
+					}
+				}
+				for _, bits := range res.Stats.PerNodeBits[:3] {
+					if int(bits) > rep.MaxNodeBits {
+						rep.MaxNodeBits = int(bits)
+					}
+				}
+				t := triangleTranscript(res.Transcript, ids)
+				classes[t] = append(classes[t], [3]int{a, bb, cc})
+			}
+		}
+	}
+	rep.Classes = len(classes)
+	var best [][3]int
+	for _, tri := range classes {
+		if len(tri) > len(best) {
+			best = tri
+		}
+	}
+	rep.LargestClass = len(best)
+	w, found := findK32InClass(best, n)
+	rep.K32Found = found
+	if !found {
+		return rep, nil
+	}
+	hex := [6]congest.NodeID{
+		congest.NodeID(w.U0[0]), congest.NodeID(n + w.U1[0]), congest.NodeID(2*n + w.U2[0]),
+		congest.NodeID(w.U0[1]), congest.NodeID(n + w.U1[1]), congest.NodeID(2*n + w.U2[1]),
+	}
+	rep.Hexagon = hex
+	res, err := runPadded(hex[:], 2)
+	if err != nil {
+		return nil, err
+	}
+	// Fooled iff any core hexagon node rejects (line nodes inherit the
+	// rejection via A' but the contradiction is the core's).
+	for v := 0; v < 6; v++ {
+		if res.Decisions[v] == congest.Reject {
+			rep.Fooled = true
+		}
+	}
+	return rep, nil
+}

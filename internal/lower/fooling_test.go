@@ -1,0 +1,128 @@
+package lower
+
+import (
+	"testing"
+
+	"subgraph/internal/congest"
+)
+
+func TestLowBitsCorrectOnTriangles(t *testing.T) {
+	// Claim 4.3: after the A' transform, every triangle run ends with all
+	// three nodes rejecting.
+	alg := LowBitsTriangleAlgorithm(2)
+	for _, ids := range [][]congest.NodeID{
+		{0, 5, 9}, {1, 4, 8}, {3, 3 + 1, 3 + 2},
+	} {
+		res, err := alg.runOn(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range res.Decisions {
+			if d != congest.Reject {
+				t.Fatalf("ids %v: node %d accepted on a triangle", ids, v)
+			}
+		}
+	}
+}
+
+func TestFoolingAdversarySmallBudget(t *testing.T) {
+	// With a 1-bit hash and 8 identifiers per part, transcripts collide
+	// massively; the adversary must find a K^(3)(2) and fool the
+	// algorithm into rejecting a hexagon.
+	rep, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrianglesAllReject {
+		t.Fatal("Claim 4.3 violated")
+	}
+	if rep.MinNodeBitsRound < 1 {
+		t.Fatalf("≥1 bit per round assumption violated: %d", rep.MinNodeBitsRound)
+	}
+	if !rep.K32Found {
+		t.Fatal("no K32 found despite 1-bit transcripts")
+	}
+	if !rep.Fooled {
+		t.Fatal("hexagon not fooled")
+	}
+	if rep.LargestClass < 8*8*8/256 {
+		t.Fatalf("largest class %d below pigeonhole bound", rep.LargestClass)
+	}
+}
+
+func TestFoolingAdversaryMediumBudget(t *testing.T) {
+	rep, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.K32Found || !rep.Fooled {
+		t.Fatalf("c=2, n=8: K32=%v fooled=%v", rep.K32Found, rep.Fooled)
+	}
+}
+
+func TestFoolingAdversaryFailsAtFullIDs(t *testing.T) {
+	// With c = ⌈log2(3n)⌉ the hash is injective on the namespace, every
+	// transcript is unique, and the adversary cannot assemble a K32 —
+	// matching the Θ(log N) tightness remark of Theorem 4.1.
+	n := 6 // namespace 18 → 5 bits
+	rep, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(5), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrianglesAllReject {
+		t.Fatal("Claim 4.3 violated")
+	}
+	if rep.Classes != n*n*n {
+		t.Fatalf("expected unique transcripts, got %d classes for %d triangles", rep.Classes, n*n*n)
+	}
+	if rep.K32Found {
+		t.Fatal("K32 found despite injective hashes")
+	}
+	if rep.Fooled {
+		t.Fatal("fooled despite full identifiers")
+	}
+}
+
+func TestFoolingHexagonViewsReplay(t *testing.T) {
+	// Claim 4.4 mechanics: every node of the spliced hexagon sees exactly
+	// the messages it would see in one of the S_t triangles, so its
+	// transcript replays. We verify indirectly: the hexagon's per-node
+	// sent bits equal the triangle algorithm's (deterministic) budget.
+	rep, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.K32Found {
+		t.Skip("no witness at this size")
+	}
+	alg := LowBitsTriangleAlgorithm(1)
+	res, err := alg.runOn(rep.Hexagon[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, bits := range res.Stats.PerNodeBits {
+		// 2 rounds × 2 neighbors × 1 bit + decision bit × 2 neighbors.
+		if bits != 2*2*1+2 {
+			t.Fatalf("hexagon node %d sent %d bits", v, bits)
+		}
+	}
+}
+
+func TestFoolingReportCounters(t *testing.T) {
+	rep, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxNodeBits != 2*2*1+2 {
+		t.Fatalf("MaxNodeBits = %d", rep.MaxNodeBits)
+	}
+	if rep.Classes < 1 || rep.LargestClass < 1 {
+		t.Fatal("empty classes")
+	}
+}
+
+func TestFoolingRejectsTinyPart(t *testing.T) {
+	if _, err := RunFoolingAdversary(LowBitsTriangleAlgorithm(1), 1); err == nil {
+		t.Fatal("part size 1 accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"subgraph/internal/comm"
+	"subgraph/internal/graph"
+)
+
+// Gkn is a member of the family G_{k,n} (Definition 2): the lower-bound
+// graph Alice and Bob assemble from a set-disjointness instance over
+// [n]×[n]. It contains n potential endpoint copies per direction, only
+// m = k⌈n^{1/k}⌉ triangles per side (shared among all endpoint copies via
+// distinct k-subset encodings), one copy of each marker clique, and the
+// input-dependent endpoint–endpoint edges.
+type Gkn struct {
+	// G is the assembled graph.
+	G *graph.Graph
+	// K and NInput are the construction parameters (NInput is the n of
+	// the disjointness universe [n]², not |V(G)|).
+	K, NInput int
+	// M is the per-side triangle count k⌈n^{1/k}⌉.
+	M int
+	// Clique[s][i] is vertex i of the size-s clique (0 = special).
+	Clique map[int][]int
+	// Endpoint[side][dir][i] is the i-th potential endpoint copy
+	// (dir ∈ {DirA, DirB}).
+	Endpoint map[Side]map[Dir][]int
+	// TriVertex[side][j] are the corners (A, B, Mid) of triangle j.
+	TriVertex map[Side][][3]int
+	// Subsets[i] is Q_i, the k-subset of [M] encoding endpoint index i.
+	Subsets [][]int
+	// Instance is the disjointness input the graph encodes.
+	Instance *comm.DisjointnessInstance
+}
+
+// TriangleBudget returns m = k·⌈n^{1/k}⌉.
+func TriangleBudget(k, n int) int {
+	return k * int(math.Ceil(math.Pow(float64(n), 1/float64(k))))
+}
+
+// binom computes C(a,b), saturating at 1<<62 to avoid overflow.
+func binom(a, b int) int64 {
+	if b < 0 || b > a {
+		return 0
+	}
+	if b > a-b {
+		b = a - b
+	}
+	res := int64(1)
+	for i := 0; i < b; i++ {
+		res = res * int64(a-i) / int64(i+1)
+		if res < 0 || res > 1<<62 {
+			return 1 << 62
+		}
+	}
+	return res
+}
+
+// kSubset unranks the idx-th k-subset of [m] in lexicographic order.
+func kSubset(m, k, idx int) []int {
+	out := make([]int, 0, k)
+	r := int64(idx)
+	x := 0
+	for len(out) < k {
+		// Subsets starting with x: C(m-x-1, k-len(out)-1).
+		c := binom(m-x-1, k-len(out)-1)
+		if r < c {
+			out = append(out, x)
+			x++
+		} else {
+			r -= c
+			x++
+		}
+		if x > m {
+			panic(fmt.Sprintf("lower: kSubset unrank overflow (m=%d k=%d idx=%d)", m, k, idx))
+		}
+	}
+	return out
+}
+
+// BuildGkn assembles G_{X,Y} ∈ G_{k,n} for the given disjointness
+// instance. It requires k ≥ 1 and C(m, k) ≥ n (guaranteed by the choice
+// of m; checked).
+func BuildGkn(k int, inst *comm.DisjointnessInstance) *Gkn {
+	n := inst.N
+	m := TriangleBudget(k, n)
+	if binom(m, k) < int64(n) {
+		panic(fmt.Sprintf("lower: C(%d,%d) < %d", m, k, n))
+	}
+	g := &Gkn{
+		K: k, NInput: n, M: m,
+		Clique:   map[int][]int{},
+		Endpoint: map[Side]map[Dir][]int{Top: {}, Bottom: {}},
+		TriVertex: map[Side][][3]int{
+			Top:    make([][3]int, m),
+			Bottom: make([][3]int, m),
+		},
+		Subsets:  make([][]int, n),
+		Instance: inst,
+	}
+	for i := 0; i < n; i++ {
+		g.Subsets[i] = kSubset(m, k, i)
+	}
+
+	next := 0
+	alloc := func() int { next++; return next - 1 }
+	for _, s := range CliqueSizes {
+		vs := make([]int, s)
+		for i := range vs {
+			vs[i] = alloc()
+		}
+		g.Clique[s] = vs
+	}
+	for _, side := range []Side{Top, Bottom} {
+		for _, dir := range []Dir{DirA, DirB} {
+			eps := make([]int, n)
+			for i := range eps {
+				eps[i] = alloc()
+			}
+			g.Endpoint[side][dir] = eps
+		}
+		for j := 0; j < m; j++ {
+			g.TriVertex[side][j] = [3]int{alloc(), alloc(), alloc()}
+		}
+	}
+
+	b := graph.NewBuilder(next)
+	for _, s := range CliqueSizes {
+		vs := g.Clique[s]
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				b.AddEdge(vs[i], vs[j])
+			}
+		}
+	}
+	for i := 0; i < len(CliqueSizes); i++ {
+		for j := i + 1; j < len(CliqueSizes); j++ {
+			b.AddEdge(g.Clique[CliqueSizes[i]][0], g.Clique[CliqueSizes[j]][0])
+		}
+	}
+	special := func(s Side, d Dir) int { return g.Clique[cliqueFor(s, d)][0] }
+
+	for _, side := range []Side{Top, Bottom} {
+		for _, dir := range []Dir{DirA, DirB} {
+			for _, v := range g.Endpoint[side][dir] {
+				b.AddEdge(v, special(side, dir))
+			}
+		}
+		for j := 0; j < m; j++ {
+			tv := g.TriVertex[side][j]
+			a, bb, mid := tv[0], tv[1], tv[2]
+			b.AddEdge(a, bb)
+			b.AddEdge(a, mid)
+			b.AddEdge(bb, mid)
+			b.AddEdge(a, special(side, DirA))
+			b.AddEdge(bb, special(side, DirB))
+			b.AddEdge(mid, special(side, DirMid))
+		}
+		// Endpoint-to-triangle attachments via the subset encoding.
+		for i := 0; i < n; i++ {
+			for _, j := range g.Subsets[i] {
+				b.AddEdge(g.Endpoint[side][DirA][i], g.TriVertex[side][j][0])
+				b.AddEdge(g.Endpoint[side][DirB][i], g.TriVertex[side][j][1])
+			}
+		}
+	}
+	// Input edges: Alice's (A-direction) from X, Bob's (B) from Y.
+	for p := range inst.X {
+		b.AddEdge(g.Endpoint[Top][DirA][p[0]], g.Endpoint[Bottom][DirA][p[1]])
+	}
+	for p := range inst.Y {
+		b.AddEdge(g.Endpoint[Top][DirB][p[0]], g.Endpoint[Bottom][DirB][p[1]])
+	}
+
+	g.G = b.Build()
+	return g
+}
+
+// ExpectHk is Lemma 3.1's right-hand side: G_{X,Y} contains H_k iff some
+// (i,j) ∈ [n]² has both the A-edge (from X) and the B-edge (from Y) —
+// i.e. iff X ∩ Y ≠ ∅.
+func (g *Gkn) ExpectHk() bool { return g.Instance.Intersects() }
+
+// PlantedEmbedding returns the canonical embedding of H_k into G for an
+// intersecting pair (i⊤ pairs with i⊥), or nil if the instance is
+// disjoint. The embedding maps the top copy onto endpoint index i and
+// triangles Q_i, the bottom copy onto index j and Q_j, cliques onto
+// cliques.
+func (g *Gkn) PlantedEmbedding(h *Hk) []int {
+	var pair *[2]int
+	for p := range g.Instance.X {
+		if g.Instance.Y[p] {
+			q := p
+			pair = &q
+			break
+		}
+	}
+	if pair == nil {
+		return nil
+	}
+	phi := make([]int, h.G.N())
+	for _, s := range CliqueSizes {
+		for i, v := range h.Clique[s] {
+			phi[v] = g.Clique[s][i]
+		}
+	}
+	idxOf := map[Side]int{Top: pair[0], Bottom: pair[1]}
+	for _, side := range []Side{Top, Bottom} {
+		i := idxOf[side]
+		phi[h.Endpoint[side][DirA]] = g.Endpoint[side][DirA][i]
+		phi[h.Endpoint[side][DirB]] = g.Endpoint[side][DirB][i]
+		for t := 0; t < h.K; t++ {
+			j := g.Subsets[i][t]
+			for c := 0; c < 3; c++ {
+				phi[h.TriVertex[side][t][c]] = g.TriVertex[side][j][c]
+			}
+		}
+	}
+	return phi
+}
+
+// Partition returns the three-way simulation split of Theorem 1.2's proof:
+// Alice owns both A-endpoint sets, both A-triangle corners, and cliques 6
+// and 8; Bob symmetrically with B and cliques 7 and 9; the Mid corners and
+// clique 10 are shared.
+func (g *Gkn) Partition() *comm.Partition {
+	owner := make([]comm.Role, g.G.N())
+	for i := range owner {
+		owner[i] = comm.Shared
+	}
+	assign := func(vs []int, r comm.Role) {
+		for _, v := range vs {
+			owner[v] = r
+		}
+	}
+	assign(g.Clique[6], comm.Alice)
+	assign(g.Clique[8], comm.Alice)
+	assign(g.Clique[7], comm.Bob)
+	assign(g.Clique[9], comm.Bob)
+	assign(g.Clique[10], comm.Shared)
+	for _, side := range []Side{Top, Bottom} {
+		assign(g.Endpoint[side][DirA], comm.Alice)
+		assign(g.Endpoint[side][DirB], comm.Bob)
+		for j := 0; j < g.M; j++ {
+			owner[g.TriVertex[side][j][0]] = comm.Alice
+			owner[g.TriVertex[side][j][1]] = comm.Bob
+			owner[g.TriVertex[side][j][2]] = comm.Shared
+		}
+	}
+	return &comm.Partition{Owner: owner}
+}

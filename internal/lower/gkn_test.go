@@ -1,0 +1,271 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subgraph/internal/comm"
+	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+)
+
+func congestNet(g *Gkn) *congest.Network { return congest.NewNetwork(g.G) }
+
+func TestBuildHkStructure(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		h := BuildHk(k)
+		if h.Size() != 44+6*k {
+			t.Errorf("k=%d: |V|=%d want %d", k, h.Size(), 44+6*k)
+		}
+		if d := h.G.Diameter(); d != 3 {
+			t.Errorf("k=%d: diameter %d want 3", k, d)
+		}
+		// Endpoint degrees: marker + k triangles + 1 cross edge.
+		for _, side := range []Side{Top, Bottom} {
+			for _, dir := range []Dir{DirA, DirB} {
+				if got := h.G.Degree(h.Endpoint[side][dir]); got != k+2 {
+					t.Errorf("k=%d endpoint %v/%v degree %d want %d", k, side, dir, got, k+2)
+				}
+			}
+		}
+		// Triangles are triangles.
+		for _, side := range []Side{Top, Bottom} {
+			for i := 0; i < k; i++ {
+				tv := h.TriVertex[side][i]
+				if !h.G.HasEdge(tv[0], tv[1]) || !h.G.HasEdge(tv[0], tv[2]) || !h.G.HasEdge(tv[1], tv[2]) {
+					t.Errorf("k=%d: triangle %v/%d incomplete", k, side, i)
+				}
+			}
+		}
+		// Cross edges present.
+		if !h.G.HasEdge(h.Endpoint[Top][DirA], h.Endpoint[Bottom][DirA]) {
+			t.Error("A cross edge missing")
+		}
+		if !h.G.HasEdge(h.Endpoint[Top][DirB], h.Endpoint[Bottom][DirB]) {
+			t.Error("B cross edge missing")
+		}
+		// No top-bottom edges other than the two cross edges and cliques.
+		if h.G.HasEdge(h.Endpoint[Top][DirA], h.Endpoint[Bottom][DirB]) {
+			t.Error("unexpected cross edge")
+		}
+	}
+}
+
+func TestKSubsetUnranking(t *testing.T) {
+	m, k := 6, 3
+	seen := map[[3]int]bool{}
+	total := int(binom(m, k))
+	for idx := 0; idx < total; idx++ {
+		s := kSubset(m, k, idx)
+		if len(s) != k {
+			t.Fatalf("idx %d: len %d", idx, len(s))
+		}
+		for i := 1; i < k; i++ {
+			if s[i-1] >= s[i] {
+				t.Fatalf("idx %d: not increasing %v", idx, s)
+			}
+		}
+		key := [3]int{s[0], s[1], s[2]}
+		if seen[key] {
+			t.Fatalf("idx %d: duplicate subset %v", idx, s)
+		}
+		seen[key] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("enumerated %d of %d subsets", len(seen), total)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := [][3]int64{{5, 2, 10}, {10, 3, 120}, {6, 0, 1}, {6, 6, 1}, {4, 5, 0}, {200, 2, 19900}}
+	for _, c := range cases {
+		if got := binom(int(c[0]), int(c[1])); got != c[2] {
+			t.Errorf("C(%d,%d)=%d want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func instFromPairs(n int, xs, ys [][2]int) *comm.DisjointnessInstance {
+	d := &comm.DisjointnessInstance{N: n, X: map[[2]int]bool{}, Y: map[[2]int]bool{}}
+	for _, p := range xs {
+		d.X[p] = true
+	}
+	for _, p := range ys {
+		d.Y[p] = true
+	}
+	return d
+}
+
+func TestGknProperty1(t *testing.T) {
+	// Property 1: diameter 3 and size O(n).
+	for _, k := range []int{2, 3} {
+		for _, n := range []int{2, 4, 8} {
+			inst := instFromPairs(n, [][2]int{{0, 1}}, [][2]int{{1, 0}})
+			g := BuildGkn(k, inst)
+			if d := g.G.Diameter(); d != 3 {
+				t.Errorf("k=%d n=%d: diameter %d", k, n, d)
+			}
+			expectN := 40 + 4*n + 6*g.M
+			if g.G.N() != expectN {
+				t.Errorf("k=%d n=%d: |V|=%d want %d", k, n, g.G.N(), expectN)
+			}
+		}
+	}
+}
+
+func TestGknCutSize(t *testing.T) {
+	// Cut = 6m + 8 (three cut edges per triangle on each side, plus the
+	// cross pairs among special clique vertices).
+	for _, k := range []int{2, 3} {
+		inst := instFromPairs(6, [][2]int{{0, 0}}, [][2]int{{0, 0}})
+		g := BuildGkn(k, inst)
+		cut := g.Partition().CutSize(congestNet(g))
+		if cut != 6*g.M+8 {
+			t.Errorf("k=%d: cut %d want %d", k, cut, 6*g.M+8)
+		}
+	}
+}
+
+func TestGknPlantedEmbedding(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		h := BuildHk(k)
+		inst := instFromPairs(5, [][2]int{{2, 3}, {0, 0}}, [][2]int{{2, 3}})
+		g := BuildGkn(k, inst)
+		phi := g.PlantedEmbedding(h)
+		if phi == nil {
+			t.Fatalf("k=%d: no embedding for intersecting instance", k)
+		}
+		if !graph.VerifyEmbedding(h.G, g.G, phi) {
+			t.Fatalf("k=%d: planted embedding invalid", k)
+		}
+	}
+}
+
+func TestGknNoEmbeddingWhenDisjoint(t *testing.T) {
+	h := BuildHk(2)
+	inst := instFromPairs(3, [][2]int{{0, 1}, {2, 2}}, [][2]int{{1, 0}, {2, 1}})
+	if inst.Intersects() {
+		t.Fatal("instance not disjoint")
+	}
+	g := BuildGkn(2, inst)
+	if g.PlantedEmbedding(h) != nil {
+		t.Fatal("planted embedding for disjoint instance")
+	}
+	// The rigidity direction of Lemma 3.1: full subgraph-isomorphism
+	// search must find nothing.
+	if graph.ContainsSubgraph(h.G, g.G) {
+		t.Fatal("H_k embeds despite disjoint inputs")
+	}
+}
+
+func TestLemma31RigidityK3(t *testing.T) {
+	// The negative direction at k=3 (larger body: three triangles per
+	// side) — the exhaustive search must still refute.
+	h := BuildHk(3)
+	inst := instFromPairs(3, [][2]int{{0, 1}}, [][2]int{{1, 0}, {2, 2}})
+	if inst.Intersects() {
+		t.Fatal("instance not disjoint")
+	}
+	g := BuildGkn(3, inst)
+	if graph.ContainsSubgraph(h.G, g.G) {
+		t.Fatal("H_3 embeds despite disjoint inputs")
+	}
+	// And the positive direction.
+	inst2 := instFromPairs(3, [][2]int{{1, 2}}, [][2]int{{1, 2}})
+	g2 := BuildGkn(3, inst2)
+	phi := g2.PlantedEmbedding(h)
+	if phi == nil || !graph.VerifyEmbedding(h.G, g2.G, phi) {
+		t.Fatal("planted k=3 embedding invalid")
+	}
+	if !graph.ContainsSubgraph(h.G, g2.G) {
+		t.Fatal("search misses the planted k=3 copy")
+	}
+}
+
+// Property: Lemma 3.1 — H_k ⊆ G_{X,Y} iff X∩Y ≠ ∅, on random small
+// instances (the positive direction via the planted embedding, the
+// negative via VF2).
+func TestQuickLemma31(t *testing.T) {
+	h := BuildHk(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := comm.RandomDisjointness(3, 0.3, rng.Intn(2) == 0, rng)
+		g := BuildGkn(2, inst)
+		contains := graph.ContainsSubgraph(h.G, g.G)
+		if inst.Intersects() {
+			phi := g.PlantedEmbedding(h)
+			return contains && phi != nil && graph.VerifyEmbedding(h.G, g.G, phi)
+		}
+		return !contains
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionViaSplitExecutor(t *testing.T) {
+	// The Theorem 1.2 simulation executed literally: Alice and Bob each
+	// hold their own copies of every node they simulate and exchange only
+	// the crossing messages. The outcome and cost must match the
+	// transcript-accounting path, and the shared Mid/clique-10 copies
+	// must stay in lockstep.
+	rng := rand.New(rand.NewSource(17))
+	inst := comm.RandomDisjointness(3, 0.3, true, rng)
+	hk := BuildHk(2)
+	g := BuildGkn(2, inst)
+	nw := congest.NewNetwork(g.G)
+	part := g.Partition()
+	idBits := nw.IDBits()
+	budget := g.G.M() + g.G.N() + 2
+	cfg := congest.Config{B: 2 * idBits, MaxRounds: budget + 1, Seed: 4}
+
+	viaTranscript, err := comm.SimulateTwoParty(nw, part, collectFactory(hk, idBits, budget), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSplit, err := comm.SimulateTwoPartySplit(nw, part, collectFactory(hk, idBits, budget), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaSplit.Rejected {
+		t.Fatal("split execution failed to detect the planted H_k")
+	}
+	if viaSplit.BitsExchanged != viaTranscript.BitsExchanged {
+		t.Fatalf("accountings disagree: split %d vs transcript %d",
+			viaSplit.BitsExchanged, viaTranscript.BitsExchanged)
+	}
+	if viaSplit.Rounds != viaTranscript.Rounds {
+		t.Fatalf("round counts disagree: %d vs %d", viaSplit.Rounds, viaTranscript.Rounds)
+	}
+}
+
+func TestRunReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, intersect := range []bool{true, false} {
+		inst := comm.RandomDisjointness(3, 0.25, intersect, rng)
+		rep, err := RunReduction(2, inst, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected != rep.Intersects {
+			t.Errorf("intersect=%v: detected=%v", rep.Intersects, rep.Detected)
+		}
+		if rep.Diameter != 3 {
+			t.Errorf("diameter %d", rep.Diameter)
+		}
+		if rep.Cut != 6*rep.M+8 {
+			t.Errorf("cut %d", rep.Cut)
+		}
+		if rep.BitsExchanged <= 0 {
+			t.Error("no bits exchanged")
+		}
+		if rep.BitsPerRoundCap <= 0 || rep.ImpliedRoundLB <= 0 {
+			t.Error("bounds not computed")
+		}
+		// Per-round exchanged bits can never exceed cut·B.
+		if rep.BitsExchanged > int64(rep.Rounds)*rep.BitsPerRoundCap {
+			t.Error("simulation cost exceeds cut capacity")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package lower implements the paper's lower-bound constructions and the
+// adversarial experiments built on them:
+//
+//   - Section 3: the graph H_k (Figure 1), the family G_{k,n}
+//     (Definition 2 / Figure 2), the Lemma 3.1 characterization, and the
+//     Theorem 1.2 reduction from two-party set disjointness;
+//   - Section 3.4: the bipartite variant;
+//   - Section 4: transcripts and the triangle-vs-hexagon fooling adversary
+//     (Theorem 4.1);
+//   - Section 5: the template graph G_T (Figure 3), its input
+//     distribution, and one-round triangle-detection protocols
+//     (Theorem 5.1).
+package lower
+
+import "subgraph/internal/graph"
+
+// Side distinguishes the two copies ("top" and "bottom") of H inside H_k.
+type Side int
+
+const (
+	// Top is the ⊤ copy.
+	Top Side = iota
+	// Bottom is the ⊥ copy.
+	Bottom
+)
+
+func (s Side) String() string {
+	if s == Top {
+		return "top"
+	}
+	return "bottom"
+}
+
+// Dir is a triangle-corner / endpoint direction.
+type Dir int
+
+const (
+	// DirA is the A direction (Alice's in the reduction).
+	DirA Dir = iota
+	// DirB is the B direction (Bob's).
+	DirB
+	// DirMid is the shared middle corner of a triangle.
+	DirMid
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirA:
+		return "A"
+	case DirB:
+		return "B"
+	default:
+		return "Mid"
+	}
+}
+
+// CliqueSizes are the five marker cliques of the construction.
+var CliqueSizes = []int{6, 7, 8, 9, 10}
+
+// cliqueFor maps a part (side, direction) to its marker clique size:
+// Alice's parts get 6 (top) and 8 (bottom), Bob's get 7 and 9, the shared
+// middles get 10 — matching the simulation split in the proof of
+// Theorem 1.2.
+func cliqueFor(s Side, d Dir) int {
+	switch d {
+	case DirA:
+		if s == Top {
+			return 6
+		}
+		return 8
+	case DirB:
+		if s == Top {
+			return 7
+		}
+		return 9
+	default:
+		return 10
+	}
+}
+
+// Hk is the Figure 1 pattern graph together with its vertex role maps.
+type Hk struct {
+	// G is the graph itself.
+	G *graph.Graph
+	// K is the triangle count per copy.
+	K int
+	// Clique[s][i] is vertex i of the size-s marker clique (i = 0 is the
+	// special vertex v_s).
+	Clique map[int][]int
+	// Endpoint[side][dir] is the A/B endpoint of the side's copy of H
+	// (dir must be DirA or DirB).
+	Endpoint map[Side]map[Dir]int
+	// TriVertex[side][i][dir] is corner dir of triangle i on the side.
+	TriVertex map[Side][][3]int
+}
+
+// BuildHk constructs H_k for k ≥ 1.
+func BuildHk(k int) *Hk {
+	if k < 1 {
+		panic("lower: BuildHk needs k ≥ 1")
+	}
+	h := &Hk{
+		K:        k,
+		Clique:   map[int][]int{},
+		Endpoint: map[Side]map[Dir]int{Top: {}, Bottom: {}},
+		TriVertex: map[Side][][3]int{
+			Top:    make([][3]int, k),
+			Bottom: make([][3]int, k),
+		},
+	}
+	next := 0
+	alloc := func() int { next++; return next - 1 }
+
+	for _, s := range CliqueSizes {
+		vs := make([]int, s)
+		for i := range vs {
+			vs[i] = alloc()
+		}
+		h.Clique[s] = vs
+	}
+	for _, side := range []Side{Top, Bottom} {
+		h.Endpoint[side][DirA] = alloc()
+		h.Endpoint[side][DirB] = alloc()
+		for i := 0; i < k; i++ {
+			h.TriVertex[side][i] = [3]int{alloc(), alloc(), alloc()} // A, B, Mid
+		}
+	}
+
+	b := graph.NewBuilder(next)
+	// Clique internals.
+	for _, s := range CliqueSizes {
+		vs := h.Clique[s]
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				b.AddEdge(vs[i], vs[j])
+			}
+		}
+	}
+	// Special vertices form a 5-clique.
+	for i := 0; i < len(CliqueSizes); i++ {
+		for j := i + 1; j < len(CliqueSizes); j++ {
+			b.AddEdge(h.Clique[CliqueSizes[i]][0], h.Clique[CliqueSizes[j]][0])
+		}
+	}
+	special := func(s Side, d Dir) int { return h.Clique[cliqueFor(s, d)][0] }
+
+	for _, side := range []Side{Top, Bottom} {
+		endA := h.Endpoint[side][DirA]
+		endB := h.Endpoint[side][DirB]
+		// Marker edges for the endpoints.
+		b.AddEdge(endA, special(side, DirA))
+		b.AddEdge(endB, special(side, DirB))
+		for i := 0; i < k; i++ {
+			tv := h.TriVertex[side][i]
+			a, bb, mid := tv[0], tv[1], tv[2]
+			// Triangle body.
+			b.AddEdge(a, bb)
+			b.AddEdge(a, mid)
+			b.AddEdge(bb, mid)
+			// Endpoint attachments.
+			b.AddEdge(endA, a)
+			b.AddEdge(endB, bb)
+			// Marker edges.
+			b.AddEdge(a, special(side, DirA))
+			b.AddEdge(bb, special(side, DirB))
+			b.AddEdge(mid, special(side, DirMid))
+		}
+	}
+	// The two cross edges joining the copies.
+	b.AddEdge(h.Endpoint[Top][DirA], h.Endpoint[Bottom][DirA])
+	b.AddEdge(h.Endpoint[Top][DirB], h.Endpoint[Bottom][DirB])
+
+	h.G = b.Build()
+	return h
+}
+
+// Size returns |V(H_k)| = 40 + 6k + 4.
+func (h *Hk) Size() int { return h.G.N() }

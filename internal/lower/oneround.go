@@ -1,0 +1,327 @@
+package lower
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraph/internal/info"
+)
+
+// Section 5: the template graph G_T (Figure 3) and its input distribution
+// µ, together with one-round triangle-detection protocols. Three special
+// nodes v_a, v_b, v_c are pairwise connected with iid probability 1/2 and
+// each owns n leaf neighbors (also present with probability 1/2), so a
+// triangle appears with probability 1/8 and each potential triangle edge
+// is "hidden" among Θ(n) indistinguishable coordinates. Identifiers are
+// drawn uniformly from [n³] (duplicates possible, as in the paper's
+// remark). Theorem 5.1: any one-round protocol with error ≪ 1/8 needs
+// bandwidth Ω(n); the experiment measures protocol error against
+// bandwidth and estimates the mutual-information quantities of
+// Lemmas 5.3/5.4.
+
+// TemplateInput is one sample of the µ distribution, in the paper's input
+// representation: each special node s sees the identifier multiset U_s of
+// ALL its potential G_T-neighbors (scrambled by a private permutation), a
+// bit vector X_s marking which are present in G, and its own identifier.
+type TemplateInput struct {
+	// N is the per-special leaf count.
+	N int
+	// SpecialID[s] is id(v_s) for s ∈ {0,1,2} = {a,b,c}.
+	SpecialID [3]int64
+	// U[s][i] is the identifier at coordinate i of v_s's input; X[s][i]
+	// the presence bit. Coordinates are permuted: the special node cannot
+	// tell which entries are the other specials.
+	U [3][]int64
+	X [3][]byte
+	// posOf[s][t] is the coordinate of v_t inside v_s's vectors (hidden
+	// from protocols; used by the evaluator).
+	posOf [3][3]int
+	// Edge[st] is the ground-truth presence of {v_s, v_t}: Edge[0] = ab,
+	// Edge[1] = bc, Edge[2] = ac.
+	Edge [3]bool
+}
+
+// HasTriangle reports whether all three special edges are present
+// (Observation 5.2).
+func (ti *TemplateInput) HasTriangle() bool { return ti.Edge[0] && ti.Edge[1] && ti.Edge[2] }
+
+// edgeIndex maps an unordered special pair to its Edge slot.
+func edgeIndex(s, t int) int {
+	switch {
+	case (s == 0 && t == 1) || (s == 1 && t == 0):
+		return 0
+	case (s == 1 && t == 2) || (s == 2 && t == 1):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SampleTemplate draws one input from µ.
+func SampleTemplate(n int, rng *rand.Rand) *TemplateInput {
+	ti := &TemplateInput{N: n}
+	idSpace := int64(n) * int64(n) * int64(n)
+	if idSpace < 8 {
+		idSpace = 8
+	}
+	for s := 0; s < 3; s++ {
+		ti.SpecialID[s] = rng.Int63n(idSpace)
+	}
+	ti.Edge[0] = rng.Intn(2) == 1
+	ti.Edge[1] = rng.Intn(2) == 1
+	ti.Edge[2] = rng.Intn(2) == 1
+	for s := 0; s < 3; s++ {
+		total := n + 2 // n leaves + the two other specials
+		ids := make([]int64, total)
+		bits := make([]byte, total)
+		// First two slots: the other specials, then the leaves.
+		others := [][2]int{{1, 2}, {0, 2}, {0, 1}}[s]
+		for k, t := range others {
+			ids[k] = ti.SpecialID[t]
+			if ti.Edge[edgeIndex(s, t)] {
+				bits[k] = 1
+			}
+		}
+		for i := 2; i < total; i++ {
+			ids[i] = rng.Int63n(idSpace)
+			bits[i] = byte(rng.Intn(2))
+		}
+		perm := rng.Perm(total)
+		pu := make([]int64, total)
+		px := make([]byte, total)
+		for from, to := range perm {
+			pu[to] = ids[from]
+			px[to] = bits[from]
+		}
+		ti.U[s] = pu
+		ti.X[s] = px
+		for k, t := range others {
+			ti.posOf[s][t] = perm[k]
+		}
+		ti.posOf[s][s] = -1
+	}
+	return ti
+}
+
+// OneRoundProtocol is a single-round triangle-detection protocol on the
+// template distribution: each special node computes one message from its
+// private input; each special node then decides from its input plus the
+// messages it received over its PRESENT edges (a missing edge delivers
+// nothing). Leaves have no information and are inert.
+type OneRoundProtocol interface {
+	// Name labels the protocol.
+	Name() string
+	// Message computes node s's outgoing message (broadcast on all its
+	// edges) and must respect the bandwidth in bits; the harness measures
+	// the actual length.
+	Message(ti *TemplateInput, s int, rng *rand.Rand) []byte
+	// MessageBits returns the worst-case message length in bits.
+	MessageBits(n int) int
+	// Decide returns true to reject (triangle claimed) at node s, given
+	// the messages from the other two specials (nil when the edge is
+	// absent or the sender is a leaf — leaves send nothing here).
+	Decide(ti *TemplateInput, s int, from [3][]byte) bool
+}
+
+// OneRoundResult aggregates a Monte-Carlo evaluation of a protocol.
+type OneRoundResult struct {
+	Protocol string
+	N        int
+	Samples  int
+	// ErrorRate is Pr[output ≠ triangle-presence] under µ.
+	ErrorRate float64
+	// MissRate is Pr[accept | triangle present] (the failure direction
+	// the Ω(n) bound forces).
+	MissRate float64
+	// FalseReject is Pr[reject | no triangle].
+	FalseReject float64
+	// MessageBits is the protocol's declared worst-case message length.
+	MessageBits int
+	// MIAccept estimates I(X_bc ; acc_a | X_ab = X_ac = 1): the
+	// information node a's decision carries about the hidden edge — the
+	// Lemma 5.3 quantity (≥ 0.3 for low-error protocols by the
+	// data-processing argument, ≤ 4(|M_ba}|+|M_ca|)/(n+1) + 2/n by
+	// Lemma 5.4).
+	MIAccept float64
+	// MIUpper is the Lemma 5.4 right-hand side for this protocol.
+	MIUpper float64
+	// MIBias bounds the plug-in MI estimator's upward bias at this sample
+	// size; a measured MIAccept below it is indistinguishable from zero.
+	MIBias float64
+}
+
+// EvaluateOneRound runs a Monte-Carlo evaluation of the protocol under µ.
+func EvaluateOneRound(p OneRoundProtocol, n, samples int, seed int64) *OneRoundResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := &OneRoundResult{Protocol: p.Name(), N: n, Samples: samples, MessageBits: p.MessageBits(n)}
+	errs, misses, falseRej := 0, 0, 0
+	triangles, nontriangles := 0, 0
+	joint := info.NewJoint[int, int]() // (X_bc, acc_a) given X_ab=X_ac=1
+	for i := 0; i < samples; i++ {
+		ti := SampleTemplate(n, rng)
+		var msgs [3][]byte
+		for s := 0; s < 3; s++ {
+			msgs[s] = p.Message(ti, s, rng)
+		}
+		reject := false
+		var accA bool
+		for s := 0; s < 3; s++ {
+			var from [3][]byte
+			for t := 0; t < 3; t++ {
+				if t != s && ti.Edge[edgeIndex(s, t)] {
+					from[t] = msgs[t]
+				}
+			}
+			r := p.Decide(ti, s, from)
+			if r {
+				reject = true
+			}
+			if s == 0 {
+				accA = !r
+			}
+		}
+		truth := ti.HasTriangle()
+		if truth {
+			triangles++
+			if !reject {
+				misses++
+			}
+		} else {
+			nontriangles++
+			if reject {
+				falseRej++
+			}
+		}
+		if reject != truth {
+			errs++
+		}
+		if ti.Edge[0] && ti.Edge[2] { // X_ab = X_ac = 1
+			xbc := 0
+			if ti.Edge[1] {
+				xbc = 1
+			}
+			acc := 0
+			if accA {
+				acc = 1
+			}
+			joint.Observe(xbc, acc)
+		}
+	}
+	res.ErrorRate = float64(errs) / float64(samples)
+	if triangles > 0 {
+		res.MissRate = float64(misses) / float64(triangles)
+	}
+	if nontriangles > 0 {
+		res.FalseReject = float64(falseRej) / float64(nontriangles)
+	}
+	res.MIAccept = joint.MutualInformation()
+	res.MIUpper = 4*float64(2*res.MessageBits)/float64(n+1) + 2/float64(n)
+	res.MIBias = joint.MIBiasBound()
+	return res
+}
+
+// --- concrete protocols ---
+
+// SamplingProtocol sends K uniformly random coordinates (id, bit) of the
+// sender's input vector, plus the sender's own identifier. A receiver that
+// sees both other specials' ids in its own input can recognize a sampled
+// coordinate describing the hidden third edge. Worst-case message length
+// is (K+1)·idBits + K bits, so K ≈ n reproduces the full-information
+// regime and K ≪ n the high-error regime — bracketing the Ω(n) bound.
+type SamplingProtocol struct {
+	// K is the sample count per message.
+	K int
+	// IDBits is the identifier width (⌈log2 n³⌉ at evaluation size).
+	IDBits int
+}
+
+// Name implements OneRoundProtocol.
+func (sp *SamplingProtocol) Name() string { return fmt.Sprintf("sample-%d", sp.K) }
+
+// MessageBits implements OneRoundProtocol.
+func (sp *SamplingProtocol) MessageBits(n int) int { return (sp.K+1)*sp.IDBits + sp.K }
+
+// Message samples K coordinates without replacement (when K ≤ len).
+func (sp *SamplingProtocol) Message(ti *TemplateInput, s int, rng *rand.Rand) []byte {
+	total := len(ti.U[s])
+	k := sp.K
+	if k > total {
+		k = total
+	}
+	out := make([]byte, 0, 1+k*9)
+	out = appendInt64(out, ti.SpecialID[s])
+	for _, idx := range rng.Perm(total)[:k] {
+		out = appendInt64(out, ti.U[s][idx])
+		out = append(out, ti.X[s][idx])
+	}
+	return out
+}
+
+// Decide rejects at s when its own two special edges are present and a
+// received sample reveals the third edge to be present.
+func (sp *SamplingProtocol) Decide(ti *TemplateInput, s int, from [3][]byte) bool {
+	others := [][2]int{{1, 2}, {0, 2}, {0, 1}}[s]
+	// Both own edges must be present (otherwise no triangle through s,
+	// and messages may be absent anyway).
+	if !ti.Edge[edgeIndex(s, others[0])] || !ti.Edge[edgeIndex(s, others[1])] {
+		return false
+	}
+	// From t's samples, look for the coordinate carrying the other
+	// special's identifier with bit 1.
+	for _, t := range others {
+		msg := from[t]
+		if msg == nil {
+			continue
+		}
+		third := others[0] + others[1] - t // the special that is not s, not t
+		msg = msg[8:]                      // skip sender id
+		for len(msg) >= 9 {
+			id := readInt64(msg)
+			bit := msg[8]
+			msg = msg[9:]
+			if id == ti.SpecialID[third] && bit == 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FullInformationProtocol is SamplingProtocol with K = n+2 (send
+// everything): its only error source is identifier collisions, so its
+// error rate vanishes as n grows — at bandwidth Θ(n·log n), consistent
+// with the Ω(n) bound (the log-factor gap is the paper's open question).
+func FullInformationProtocol(n, idBits int) *SamplingProtocol {
+	return &SamplingProtocol{K: n + 2, IDBits: idBits}
+}
+
+// SilentProtocol sends nothing and always accepts: error = Pr[triangle]
+// = 1/8. The zero-bandwidth baseline.
+type SilentProtocol struct{}
+
+// Name implements OneRoundProtocol.
+func (SilentProtocol) Name() string { return "silent" }
+
+// MessageBits implements OneRoundProtocol.
+func (SilentProtocol) MessageBits(int) int { return 0 }
+
+// Message implements OneRoundProtocol.
+func (SilentProtocol) Message(*TemplateInput, int, *rand.Rand) []byte { return nil }
+
+// Decide implements OneRoundProtocol.
+func (SilentProtocol) Decide(*TemplateInput, int, [3][]byte) bool { return false }
+
+func appendInt64(b []byte, v int64) []byte {
+	for i := 56; i >= 0; i -= 8 {
+		b = append(b, byte(v>>uint(i)))
+	}
+	return b
+}
+
+func readInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | int64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package lower
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildTemplateNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ti := SampleTemplate(10, rng)
+	tn := BuildTemplateNetwork(ti, rng)
+	g := tn.Net.G
+	if g.N() != 3+3*10 {
+		t.Fatalf("|V|=%d", g.N())
+	}
+	// Special-special edges match the flags.
+	if g.HasEdge(0, 1) != ti.Edge[0] || g.HasEdge(1, 2) != ti.Edge[1] || g.HasEdge(0, 2) != ti.Edge[2] {
+		t.Fatal("special edges mismatch")
+	}
+	// Each special's degree equals the popcount of its bit vector.
+	for s := 0; s < 3; s++ {
+		want := 0
+		for _, b := range ti.X[s] {
+			want += int(b)
+		}
+		if g.Degree(s) != want {
+			t.Fatalf("special %d degree %d want %d", s, g.Degree(s), want)
+		}
+	}
+}
+
+func TestRunOneRoundCongestFullSampling(t *testing.T) {
+	// K = n+2 (full information): the simulator-backed protocol must
+	// agree with the ground truth on every sample (identifier collisions
+	// aside, which are ~n⁻³-rare).
+	rng := rand.New(rand.NewSource(2))
+	n := 12
+	agree := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		ti := SampleTemplate(n, rng)
+		res, err := RunOneRoundCongest(ti, n+2, int64(i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds > 2 {
+			t.Fatalf("one-round protocol used %d rounds", res.Rounds)
+		}
+		if res.Rejected == res.Truth {
+			agree++
+		}
+	}
+	if agree < trials-1 {
+		t.Fatalf("full-information protocol agreed only %d/%d", agree, trials)
+	}
+}
+
+func TestRunOneRoundCongestLowBandwidthMisses(t *testing.T) {
+	// K = 1: the protocol must miss most triangles (the Theorem 5.1
+	// regime), while never false-rejecting.
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	misses, triangles := 0, 0
+	for i := 0; i < 120; i++ {
+		ti := SampleTemplate(n, rng)
+		res, err := RunOneRoundCongest(ti, 1, int64(i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truth {
+			triangles++
+			if !res.Rejected {
+				misses++
+			}
+		} else if res.Rejected {
+			t.Fatal("false rejection")
+		}
+	}
+	if triangles == 0 {
+		t.Skip("no triangles sampled")
+	}
+	if float64(misses)/float64(triangles) < 0.5 {
+		t.Fatalf("K=1 protocol missed only %d/%d", misses, triangles)
+	}
+}
+
+func TestRunOneRoundCongestBandwidthEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ti := SampleTemplate(8, rng)
+	res, err := RunOneRoundCongest(ti, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgBits := 64 + 3*65
+	if res.MaxEdgeBits > msgBits {
+		t.Fatalf("edge carried %d bits > B=%d", res.MaxEdgeBits, msgBits)
+	}
+}

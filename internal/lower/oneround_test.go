@@ -1,0 +1,130 @@
+package lower
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleTemplateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	ti := SampleTemplate(n, rng)
+	for s := 0; s < 3; s++ {
+		if len(ti.U[s]) != n+2 || len(ti.X[s]) != n+2 {
+			t.Fatalf("special %d: vector sizes %d/%d", s, len(ti.U[s]), len(ti.X[s]))
+		}
+		// The other specials' ids must appear at the recorded positions.
+		for tt := 0; tt < 3; tt++ {
+			if tt == s {
+				continue
+			}
+			pos := ti.posOf[s][tt]
+			if ti.U[s][pos] != ti.SpecialID[tt] {
+				t.Fatalf("special %d: id of %d not at recorded position", s, tt)
+			}
+			wantBit := byte(0)
+			if ti.Edge[edgeIndex(s, tt)] {
+				wantBit = 1
+			}
+			if ti.X[s][pos] != wantBit {
+				t.Fatalf("special %d: edge bit mismatch for %d", s, tt)
+			}
+		}
+	}
+}
+
+func TestTemplateTriangleProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	count, samples := 0, 40000
+	for i := 0; i < samples; i++ {
+		if SampleTemplate(4, rng).HasTriangle() {
+			count++
+		}
+	}
+	p := float64(count) / float64(samples)
+	if math.Abs(p-0.125) > 0.01 {
+		t.Fatalf("triangle probability %f, want 1/8", p)
+	}
+}
+
+func TestSilentProtocolError(t *testing.T) {
+	res := EvaluateOneRound(SilentProtocol{}, 16, 20000, 3)
+	if math.Abs(res.ErrorRate-0.125) > 0.01 {
+		t.Fatalf("silent error %f, want 1/8", res.ErrorRate)
+	}
+	if res.MissRate < 0.99 {
+		t.Fatalf("silent protocol should miss everything, missed %f", res.MissRate)
+	}
+	if res.MIAccept > 0.01 {
+		t.Fatalf("silent protocol leaks information: MI=%f", res.MIAccept)
+	}
+}
+
+func TestFullInformationProtocolAccurate(t *testing.T) {
+	n := 16
+	idBits := 3 * 4 // log2(16³)
+	res := EvaluateOneRound(FullInformationProtocol(n, idBits), n, 20000, 4)
+	if res.ErrorRate > 0.01 {
+		t.Fatalf("full-information error %f", res.ErrorRate)
+	}
+	// Lemma 5.3 regime: a low-error protocol's accept decision must carry
+	// substantial information about the hidden edge.
+	if res.MIAccept < 0.3 {
+		t.Fatalf("full-information MI %f < 0.3", res.MIAccept)
+	}
+}
+
+func TestSamplingProtocolErrorDecreasesWithK(t *testing.T) {
+	n := 32
+	idBits := 15
+	var prev float64 = 1
+	for _, k := range []int{1, 8, 34} {
+		res := EvaluateOneRound(&SamplingProtocol{K: k, IDBits: idBits}, n, 15000, 5)
+		if res.MissRate > prev+0.03 {
+			t.Fatalf("K=%d: miss rate %f did not decrease (prev %f)", k, res.MissRate, prev)
+		}
+		prev = res.MissRate
+	}
+	// K = n+2 must essentially eliminate misses.
+	if prev > 0.02 {
+		t.Fatalf("full sampling still misses %f", prev)
+	}
+}
+
+func TestLemma54BoundHolds(t *testing.T) {
+	// The measured information at node a never exceeds the Lemma 5.4
+	// upper bound (up to Monte-Carlo noise) for low-bandwidth protocols.
+	n := 64
+	res := EvaluateOneRound(&SamplingProtocol{K: 1, IDBits: 18}, n, 20000, 6)
+	if res.MIAccept > res.MIUpper+0.05 {
+		t.Fatalf("MI %f exceeds Lemma 5.4 bound %f", res.MIAccept, res.MIUpper)
+	}
+	// And a K=1 protocol must have high miss rate: it learns almost
+	// nothing about the hidden coordinate.
+	if res.MissRate < 0.5 {
+		t.Fatalf("1-sample protocol missing only %f", res.MissRate)
+	}
+}
+
+func TestSamplingSoundness(t *testing.T) {
+	// The sampling protocol never falsely rejects (it only rejects on a
+	// positively identified edge bit), modulo id collisions which are
+	// ~n⁻³-rare.
+	res := EvaluateOneRound(&SamplingProtocol{K: 8, IDBits: 15}, 32, 20000, 7)
+	if res.FalseReject > 0.005 {
+		t.Fatalf("false reject rate %f", res.FalseReject)
+	}
+}
+
+func TestEdgeIndex(t *testing.T) {
+	if edgeIndex(0, 1) != 0 || edgeIndex(1, 0) != 0 {
+		t.Fatal("ab")
+	}
+	if edgeIndex(1, 2) != 1 || edgeIndex(2, 1) != 1 {
+		t.Fatal("bc")
+	}
+	if edgeIndex(0, 2) != 2 || edgeIndex(2, 0) != 2 {
+		t.Fatal("ac")
+	}
+}

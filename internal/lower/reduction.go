@@ -1,0 +1,97 @@
+package lower
+
+import (
+	"subgraph/internal/comm"
+	"subgraph/internal/congest"
+	"subgraph/internal/core"
+)
+
+// Theorem 1.2's reduction, run end to end: given a disjointness instance,
+// build G_{X,Y}, execute an H_k-detection algorithm on it, and account the
+// two-party simulation cost across the Alice/Bob/shared partition. Since
+// disjointness on [n]² costs Ω(n²) bits and one round costs O(cut·B) =
+// O(k·n^{1/k}·B) bits, any correct algorithm must run
+// R = Ω(n² / (k·n^{1/k}·B)) = Ω(n^{2-1/k}/(Bk)) rounds.
+
+// ReductionReport is the outcome of one reduction run.
+type ReductionReport struct {
+	// K, NInput, M echo the construction parameters.
+	K, NInput, M int
+	// GraphN and GraphM are |V(G_{X,Y})| and |E(G_{X,Y})|.
+	GraphN, GraphM int
+	// Diameter is the network diameter (Property 1 says 3).
+	Diameter int
+	// Cut is the partition's cut size (Θ(k·n^{1/k})).
+	Cut int
+	// Intersects is the disjointness ground truth.
+	Intersects bool
+	// Detected is the algorithm's answer — correctness requires
+	// Detected == Intersects.
+	Detected bool
+	// Rounds is the algorithm's round count.
+	Rounds int
+	// BitsExchanged is the simulation's A↔B cost; the reduction argument
+	// says correct algorithms must push this to Ω(n²) in the worst case.
+	BitsExchanged int64
+	// BitsPerRoundCap = 2·cut·B bounds the per-round simulation cost
+	// (each cut edge carries up to B bits in each direction).
+	BitsPerRoundCap int64
+	// ImpliedRoundLB = DisjointnessBound(n²) / (cut·B): the round count
+	// Theorem 1.2 forces on worst-case instances at this n, k, B.
+	ImpliedRoundLB float64
+}
+
+// RunReduction builds G_{X,Y} and runs the generic edge-collection
+// H_k-detector through the two-party simulation.
+func RunReduction(k int, inst *comm.DisjointnessInstance, seed int64) (*ReductionReport, error) {
+	hk := BuildHk(k)
+	g := BuildGkn(k, inst)
+	nw := congest.NewNetwork(g.G)
+	part := g.Partition()
+
+	idBits := nw.IDBits()
+	bandwidth := 2 * idBits
+	budget := g.G.M() + g.G.N() + 2
+
+	factory := collectFactory(hk, idBits, budget)
+	sim, err := comm.SimulateTwoParty(nw, part, factory, congest.Config{
+		B:         bandwidth,
+		MaxRounds: budget + 1,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReductionReport{
+		K: k, NInput: inst.N, M: g.M,
+		GraphN:          g.G.N(),
+		GraphM:          g.G.M(),
+		Diameter:        g.G.Diameter(),
+		Cut:             sim.Cut,
+		Intersects:      inst.Intersects(),
+		Detected:        sim.Rejected,
+		Rounds:          sim.Rounds,
+		BitsExchanged:   sim.BitsExchanged,
+		BitsPerRoundCap: 2 * int64(sim.Cut) * int64(bandwidth),
+	}
+	rep.ImpliedRoundLB = comm.DisjointnessBound(inst.UniverseSize()) / float64(rep.BitsPerRoundCap)
+	return rep, nil
+}
+
+// collectFactory adapts the core edge-collection detector to a raw node
+// factory so the two-party simulator can run it.
+func collectFactory(hk *Hk, idBits, budget int) func() congest.Node {
+	return core.CollectNodeFactory(hk.G, idBits, budget)
+}
+
+// RunBipartiteReduction runs the Section 3.4 analogue: the edge-collection
+// H'_k-detector on a pre-built bipartite family member, through the
+// two-party simulation.
+func RunBipartiteReduction(h *BipartiteHk, g *BipartiteGkn, seed int64) (*comm.SimResult, error) {
+	nw := congest.NewNetwork(g.G)
+	idBits := nw.IDBits()
+	budget := g.G.M() + g.G.N() + 2
+	return comm.SimulateTwoParty(nw, g.Partition(),
+		core.CollectNodeFactory(h.G, idBits, budget),
+		congest.Config{B: 2 * idBits, MaxRounds: budget + 1, Seed: seed})
+}

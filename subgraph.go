@@ -1,0 +1,296 @@
+// Package subgraph is a library for distributed subgraph detection in the
+// CONGEST model, reproducing "Possibilities and Impossibilities for
+// Distributed Subgraph Detection" (Fischer, Gonen, Kuhn, Oshman;
+// SPAA 2018).
+//
+// It bundles:
+//
+//   - a bit-exact CONGEST / LOCAL / broadcast-CONGEST simulator
+//     (sequential and parallel engines) and a Congested Clique simulator;
+//   - the paper's detection algorithms: the Theorem 1.1 sublinear
+//     even-cycle detector, the O(n) color-coded-BFS cycle baseline,
+//     constant-round tree detection, O(n)-round clique detection, generic
+//     edge-collection detection, and LOCAL-model detection;
+//   - the paper's lower-bound machinery: the H_k / G_{k,n} family with
+//     the set-disjointness reduction (Theorem 1.2), its bipartite variant
+//     (Section 3.4), the deterministic triangle-vs-hexagon fooling
+//     adversary (Theorem 4.1), and the one-round randomized bandwidth
+//     experiment (Theorem 5.1);
+//   - K_s counting (Lemma 1.3) and congested-clique K_s listing.
+//
+// Quick start: build a topology with NewGraphBuilder or a generator, wrap
+// it in a Network, and call Detect with a pattern — the dispatcher picks
+// the best algorithm the paper provides for that pattern shape. The
+// sub-packages under internal/ carry the full APIs; this facade re-exports
+// the common entry points.
+package subgraph
+
+import (
+	"fmt"
+
+	"subgraph/internal/cclique"
+	"subgraph/internal/congest"
+	"subgraph/internal/core"
+	"subgraph/internal/graph"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// underlying implementations.
+type (
+	// Graph is an immutable undirected simple graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges for a Graph.
+	GraphBuilder = graph.Builder
+	// Network is a topology with an identifier assignment.
+	Network = congest.Network
+	// NodeID is a node identifier.
+	NodeID = congest.NodeID
+	// Stats aggregates communication measurements of a run.
+	Stats = congest.Stats
+)
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewNetwork wraps a graph with the identity identifier assignment.
+func NewNetwork(g *Graph) *Network { return congest.NewNetwork(g) }
+
+// NewNetworkWithIDs wraps a graph with an explicit identifier assignment.
+func NewNetworkWithIDs(g *Graph, ids []NodeID) *Network {
+	return congest.NewNetworkWithIDs(g, ids)
+}
+
+// Generators re-exported from the graph package.
+var (
+	// Cycle returns C_n.
+	Cycle = graph.Cycle
+	// Path returns the path on n vertices.
+	Path = graph.Path
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// CompleteBipartite returns K_{a,b}.
+	CompleteBipartite = graph.CompleteBipartite
+	// Star returns K_{1,n}.
+	Star = graph.Star
+	// GNP returns an Erdős–Rényi random graph.
+	GNP = graph.GNP
+	// RandomTree returns a uniform random labeled tree.
+	RandomTree = graph.RandomTree
+	// PlantCycle adds a cycle through random vertices.
+	PlantCycle = graph.PlantCycle
+	// PlantClique adds a clique on random vertices.
+	PlantClique = graph.PlantClique
+)
+
+// ContainsSubgraph is the centralized ground truth (Definition 1:
+// subgraph containment, not induced).
+func ContainsSubgraph(h, g *Graph) bool { return graph.ContainsSubgraph(h, g) }
+
+// Edge-list serialization, re-exported for the CLI tools and users with
+// on-disk topologies.
+var (
+	// ReadEdgeList parses "u v" lines (optional "n <count>" header).
+	ReadEdgeList = graph.ReadEdgeList
+	// WriteEdgeList writes the matching format.
+	WriteEdgeList = graph.WriteEdgeList
+)
+
+// Options tunes Detect.
+type Options struct {
+	// Reps is the number of color-coding repetitions for the randomized
+	// detectors (0 = a sensible default for the pattern).
+	Reps int
+	// Seed drives all randomness.
+	Seed int64
+	// Parallel selects the goroutine simulator engine.
+	Parallel bool
+}
+
+// Report summarizes a detection run.
+type Report struct {
+	// Detected is the network's decision: true means some node rejected,
+	// i.e. a copy of the pattern was found (or, for the even-cycle
+	// detector, certified to exist by the edge bound).
+	Detected bool
+	// Algorithm names the dispatched algorithm.
+	Algorithm string
+	// Rounds is the number of CONGEST rounds used.
+	Rounds int
+	// BandwidthBits is the per-edge bandwidth the algorithm ran under.
+	BandwidthBits int
+	// Stats holds the underlying simulator measurements.
+	Stats Stats
+}
+
+// Detect decides whether the network contains a copy of pattern h,
+// dispatching on the pattern's shape:
+//
+//   - trees → constant-round color-coding DP;
+//   - triangles → the exact Δ-round neighbor-exchange detector;
+//   - even cycles C_{2k} → the Theorem 1.1 sublinear algorithm;
+//   - odd cycles → the O(n) pipelined color-BFS baseline;
+//   - cliques K_s → the O(n) neighborhood-exchange detector;
+//   - anything else → the O(m+n) edge-collection detector (exact).
+//
+// The randomized detectors are one-sided: a "detected" answer is always
+// correct, a "not detected" answer is correct with probability growing in
+// Options.Reps.
+func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
+	if h == nil || h.N() == 0 {
+		return nil, fmt.Errorf("subgraph: empty pattern")
+	}
+	switch {
+	case h.IsTree():
+		reps := opts.Reps
+		if reps <= 0 {
+			reps = defaultTreeReps(h.N())
+		}
+		r, err := core.DetectTree(nw, core.TreeConfig{
+			Tree: h, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Detected: r.Detected, Algorithm: "tree-color-coding",
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+
+	case h.N() == 3 && h.M() == 3:
+		// Triangles: both exact detectors are O(log n)-bandwidth; pick
+		// the cheaper round budget — Δ (neighbor exchange) vs √(2m)
+		// (degree split).
+		delta := nw.G.MaxDegree()
+		if float64(delta*delta) <= float64(2*nw.G.M()) {
+			r, err := core.DetectTriangle(nw, core.TriangleConfig{Seed: opts.Seed, Parallel: opts.Parallel})
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Detected: r.Detected, Algorithm: "triangle-neighbor-exchange",
+				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+		}
+		r, err := core.DetectTriangleSplit(nw, core.TriangleSplitConfig{Seed: opts.Seed, Parallel: opts.Parallel})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Detected: r.Detected, Algorithm: "triangle-degree-split",
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+
+	case isCycle(h):
+		L := h.N()
+		if L%2 == 0 {
+			reps := opts.Reps
+			if reps <= 0 {
+				reps = 1
+			}
+			r, err := core.DetectEvenCycle(nw, core.EvenCycleConfig{
+				K: L / 2, PhaseIReps: reps, PhaseIIReps: reps,
+				Seed: opts.Seed, Parallel: opts.Parallel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Detected: r.Detected, Algorithm: "even-cycle-sublinear",
+				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+		}
+		reps := opts.Reps
+		if reps <= 0 {
+			reps = core.DefaultCycleReps(L)
+		}
+		r, err := core.DetectCycleLinear(nw, core.LinearCycleConfig{
+			CycleLen: L, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Detected: r.Detected, Algorithm: "cycle-linear",
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+
+	case isClique(h):
+		r, err := core.DetectClique(nw, core.CliqueConfig{
+			S: h.N(), Seed: opts.Seed, Parallel: opts.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Detected: r.Detected, Algorithm: "clique-linear",
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+
+	default:
+		r, err := core.DetectCollect(nw, core.CollectConfig{
+			H: h, Seed: opts.Seed, Parallel: opts.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Detected: r.Detected, Algorithm: "edge-collection",
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+	}
+}
+
+// DetectLocal decides pattern containment in the LOCAL model (unbounded
+// messages, O(|h|) rounds) — exact and deterministic.
+func DetectLocal(nw *Network, h *Graph, opts Options) (*Report, error) {
+	r, err := core.DetectLocal(nw, core.LocalConfig{H: h, Seed: opts.Seed, Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Detected: r.Detected, Algorithm: "local-ball-collection",
+		Rounds: r.Rounds, BandwidthBits: 0, Stats: r.Stats}, nil
+}
+
+// CliqueListing is the outcome of congested-clique K_s listing.
+type CliqueListing struct {
+	// Cliques lists every K_s exactly once, vertices ascending.
+	Cliques [][]int
+	// Rounds is the congested-clique round count (~n^{1-2/s} on dense
+	// inputs, matching the paper's Ω̃(n^{1-2/s}) listing lower bound).
+	Rounds int
+	// BandwidthBits is the per-pair bandwidth used (Θ(log n) by default).
+	BandwidthBits int
+}
+
+// ListCliques lists all K_s copies of g in the Congested Clique model
+// (all-to-all communication, bandwidthBits per ordered pair per round;
+// pass 0 for the Θ(log n) default), using the partition-based
+// Dolev–Lenzen–Peled scheme generalized to K_s.
+func ListCliques(g *Graph, s int, bandwidthBits int) (*CliqueListing, error) {
+	res, err := cclique.ListCliques(g, s, bandwidthBits)
+	if err != nil {
+		return nil, err
+	}
+	return &CliqueListing{
+		Cliques:       res.Cliques,
+		Rounds:        res.Stats.Rounds,
+		BandwidthBits: res.B,
+	}, nil
+}
+
+// isCycle reports whether h is C_L for some L ≥ 3.
+func isCycle(h *Graph) bool {
+	if h.N() < 3 || h.M() != h.N() || !h.Connected() {
+		return false
+	}
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// isClique reports whether h is K_s for some s ≥ 2.
+func isClique(h *Graph) bool {
+	n := h.N()
+	return n >= 2 && h.M() == n*(n-1)/2
+}
+
+// defaultTreeReps caps the t^t amplification at something simulable.
+func defaultTreeReps(t int) int {
+	reps := 1
+	for i := 0; i < t; i++ {
+		reps *= t
+		if reps >= 4096 {
+			return 4096
+		}
+	}
+	return reps
+}

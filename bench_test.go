@@ -234,6 +234,32 @@ func BenchmarkE7Separation(b *testing.B) {
 	})
 }
 
+// --- E8: fault injection — detection under message loss ---
+
+func BenchmarkE8DropSweep(b *testing.B) {
+	drops := []float64{0, 0.3}
+	b.Run("evencycle", func(b *testing.B) {
+		var rows []experiments.E8Row
+		for i := 0; i < b.N; i++ {
+			rows = experiments.E8EvenCycleDropSweep(2, 60, drops, 4, int64(i))
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.PlainRate, "plain-rate")
+		b.ReportMetric(last.ResilientRate, "resil-rate")
+		b.ReportMetric(last.ResilientRounds/last.PlainRounds, "round-overhead")
+	})
+	b.Run("triangle", func(b *testing.B) {
+		var rows []experiments.E8Row
+		for i := 0; i < b.N; i++ {
+			rows = experiments.E8TriangleDropSweep(24, 1.0/24, drops, 4, int64(i))
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.PlainRate, "plain-rate")
+		b.ReportMetric(last.ResilientRate, "resil-rate")
+		b.ReportMetric(last.ResilientBits/last.PlainBits, "bit-overhead")
+	})
+}
+
 // --- simulator micro-benchmarks (engine throughput) ---
 
 func BenchmarkSimulatorSequential(b *testing.B) {

@@ -32,6 +32,11 @@ func main() {
 		reps      = flag.Int("reps", 0, "color-coding repetitions (0 = default)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		parallel  = flag.Bool("parallel", false, "use the parallel simulator engine")
+		drop      = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
+		corrupt   = flag.Float64("corrupt", 0, "fault injection: per-message bit-flip probability in [0,1]")
+		crash     = flag.String("crash", "", "fault injection: crash-stop failures as \"v@r,v@r\" (vertex v crashes at round r)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none); on expiry the partial result is printed")
+		resilient = flag.Bool("resilient", false, "wrap nodes in the ack/retransmit decorator to tolerate message loss")
 	)
 	flag.Parse()
 
@@ -57,17 +62,30 @@ func main() {
 	fmt.Printf("network : %s n=%d m=%d\n", *graphKind, g.N(), g.M())
 	fmt.Printf("pattern : %s (|V|=%d |E|=%d)\n", *pattern, h.N(), h.M())
 
+	faults, err := buildFaultPlan(*seed, *drop, *corrupt, *crash)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	nw := subgraph.NewNetwork(g)
-	opts := subgraph.Options{Reps: *reps, Seed: *seed, Parallel: *parallel}
+	opts := subgraph.Options{
+		Reps: *reps, Seed: *seed, Parallel: *parallel,
+		Faults: faults, Deadline: *deadline, Resilient: *resilient,
+	}
 	var rep *subgraph.Report
 	if *model == "local" {
 		rep, err = subgraph.DetectLocal(nw, h, opts)
 	} else {
 		rep, err = subgraph.Detect(nw, h, opts)
 	}
-	if err != nil {
+	if rep == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if err != nil {
+		// Deadline / cancellation: report the partial result.
+		fmt.Printf("aborted  : %v\n", err)
 	}
 	fmt.Printf("algorithm: %s\n", rep.Algorithm)
 	fmt.Printf("detected : %v\n", rep.Detected)
@@ -75,7 +93,41 @@ func main() {
 	fmt.Printf("bandwidth: %d bits/edge/round (0 = unbounded)\n", rep.BandwidthBits)
 	fmt.Printf("traffic  : %d bits, %d messages, max %d bits on one edge in a round\n",
 		rep.Stats.TotalBits, rep.Stats.TotalMessages, rep.Stats.MaxEdgeBitsRound)
+	if faults != nil {
+		fmt.Printf("faults   : %d dropped, %d corrupted (%d bits flipped), %d crashed\n",
+			rep.Stats.DroppedMessages, rep.Stats.CorruptedMessages,
+			rep.Stats.CorruptedBits, rep.Stats.CrashedNodes)
+	}
 	fmt.Printf("truth    : %v (centralized check)\n", subgraph.ContainsSubgraph(h, g))
+}
+
+// buildFaultPlan assembles a FaultPlan from the -drop / -corrupt / -crash
+// flags; nil when no fault flag is set.
+func buildFaultPlan(seed int64, drop, corrupt float64, crash string) (*subgraph.FaultPlan, error) {
+	var crashes []subgraph.Crash
+	if crash != "" {
+		for _, spec := range strings.Split(crash, ",") {
+			parts := strings.SplitN(strings.TrimSpace(spec), "@", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad -crash entry %q: want v@r", spec)
+			}
+			v, err1 := strconv.Atoi(parts[0])
+			r, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -crash entry %q: want v@r", spec)
+			}
+			crashes = append(crashes, subgraph.Crash{Vertex: v, Round: r})
+		}
+	}
+	if drop == 0 && corrupt == 0 && len(crashes) == 0 {
+		return nil, nil
+	}
+	return &subgraph.FaultPlan{
+		Seed:        seed,
+		DropRate:    drop,
+		CorruptRate: corrupt,
+		Crashes:     crashes,
+	}, nil
 }
 
 func loadGraph(path string) (*subgraph.Graph, error) {

@@ -17,7 +17,7 @@ import (
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "small sizes (seconds instead of minutes)")
-		only  = flag.String("only", "", "run a single experiment: E1 .. E7")
+		only  = flag.String("only", "", "run a single experiment: E1 .. E8")
 		seed  = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -118,5 +118,26 @@ func main() {
 			fmt.Print(experiments.FormatE7(experiments.E7Separation(3, []int{3, 5}, *seed)))
 			fmt.Println()
 		}
+	}
+	if want("E8") {
+		drops := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+		n, trials := 120, 30
+		if *quick {
+			drops = []float64{0, 0.2, 0.5}
+			n, trials = 60, 8
+		}
+		fmt.Print(experiments.FormatE8(fmt.Sprintf("C_4 color-BFS (n=%d, planted coloring)", n),
+			experiments.E8EvenCycleDropSweep(2, n, drops, trials, *seed)))
+		fmt.Println()
+		tn := 40
+		if *quick {
+			tn = 24
+		}
+		// Sparse background (p = 1/n) so the planted triangle is usually
+		// the only one: the 6-fold per-triangle announcement redundancy is
+		// then the only thing standing between the detector and a miss.
+		fmt.Print(experiments.FormatE8(fmt.Sprintf("triangle neighbor-exchange (n=%d, p=1/n)", tn),
+			experiments.E8TriangleDropSweep(tn, 1.0/float64(tn), drops, trials, *seed)))
+		fmt.Println()
 	}
 }

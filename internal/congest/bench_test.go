@@ -1,0 +1,39 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraph/internal/graph"
+)
+
+// BenchmarkDelivery exercises the runner's delivery phase — the per-round
+// hot path that accumulates per-directed-edge bandwidth. With the flat
+// edge-indexed accumulators this path performs no per-message map work;
+// ReportAllocs guards against regressions back to a per-round map.
+func BenchmarkDelivery(b *testing.B) {
+	g := graph.GNP(64, 0.2, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g)
+		if _, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 96, MaxRounds: 30, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeliveryFaults measures the adversary's overhead on the same
+// workload.
+func BenchmarkDeliveryFaults(b *testing.B) {
+	g := graph.GNP(64, 0.2, rand.New(rand.NewSource(1)))
+	plan := &FaultPlan{DropRate: 0.1, CorruptRate: 0.05}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g)
+		if _, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 96, MaxRounds: 30, Seed: int64(i), Faults: plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// faultFingerprint extends the engine-equivalence fingerprint with the
+// adversary's actions: fault stats and per-message transcript tags.
+func faultFingerprint(res *Result) string {
+	var sb strings.Builder
+	sb.WriteString(fingerprint(res))
+	fmt.Fprintf(&sb, "|drop=%d|corr=%d/%d|crash=%d",
+		res.Stats.DroppedMessages, res.Stats.CorruptedMessages,
+		res.Stats.CorruptedBits, res.Stats.CrashedNodes)
+	for _, m := range flatten(res.Transcript) {
+		sb.WriteString(m.Fault.String()[:1])
+	}
+	return sb.String()
+}
+
+func TestZeroFaultPlanBitIdentical(t *testing.T) {
+	g := graph.GNP(12, 0.3, rand.New(rand.NewSource(3)))
+	run := func(faults *FaultPlan) string {
+		nw := NewNetwork(g)
+		res, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 64, MaxRounds: 12, Seed: 7, RecordTranscript: true, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return faultFingerprint(res)
+	}
+	if run(nil) != run(&FaultPlan{}) {
+		t.Fatal("zero fault plan changed the execution")
+	}
+}
+
+func TestDropRateOneSilencesNetwork(t *testing.T) {
+	g := graph.Cycle(6)
+	nw := NewNetwork(g)
+	res, err := Run(nw, func() Node { return &floodNode{} },
+		Config{B: 64, MaxRounds: 20, Faults: &FaultPlan{DropRate: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DroppedMessages == 0 || res.Stats.DroppedMessages != res.Stats.TotalMessages {
+		t.Fatalf("dropped %d of %d messages", res.Stats.DroppedMessages, res.Stats.TotalMessages)
+	}
+	// With every message dropped, no node ever learns id 0: every node
+	// except vertex 0 still believes its own id is the minimum.
+	if !res.Rejected() {
+		t.Fatal("flood converged despite a fully lossy network")
+	}
+}
+
+func TestTargetedDrop(t *testing.T) {
+	// Path 0-1: node 0 sends its round number each round; drop only the
+	// round-2 message on edge 0→1.
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	var got []uint64
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.ID() == 0 && env.Round() <= 3 {
+				env.Send(1, bitio.Uint(uint64(env.Round()), 8))
+			}
+			for _, m := range inbox {
+				v, _ := bitio.NewReader(m.Payload).ReadUint(8)
+				got = append(got, v)
+			}
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 8, MaxRounds: 5,
+		Faults: &FaultPlan{Drops: []TargetedDrop{{Round: 2, From: 0, To: 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DroppedMessages != 1 {
+		t.Fatalf("dropped %d messages, want 1", res.Stats.DroppedMessages)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered rounds %v, want [1 3]", got)
+	}
+}
+
+func TestCorruptionFlipsBits(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	sent := bitio.Uint(0, 16) // all zeros: any flip is visible
+	var received []bitio.BitString
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			for _, m := range inbox {
+				received = append(received, m.Payload)
+				if m.Fault != FaultNone {
+					t.Error("delivered message carries a fault tag")
+				}
+			}
+			if env.ID() == 0 && env.Round() == 1 {
+				env.Send(1, sent)
+			}
+			if env.Round() == 3 {
+				env.Halt()
+			}
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 16, MaxRounds: 5, RecordTranscript: true,
+		Faults: &FaultPlan{CorruptRate: 1, CorruptFlips: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CorruptedMessages != 1 || res.Stats.CorruptedBits != 3 {
+		t.Fatalf("corruption stats %d msgs / %d bits, want 1/3", res.Stats.CorruptedMessages, res.Stats.CorruptedBits)
+	}
+	if len(received) != 1 || received[0].Equal(sent) {
+		t.Fatalf("payload not corrupted: %v", received)
+	}
+	// The transcript entry shows the corrupted payload and the tag.
+	tr := flatten(res.Transcript)
+	if len(tr) != 1 || tr[0].Fault != FaultCorrupted || tr[0].Payload.Equal(sent) {
+		t.Fatalf("transcript entry %+v", tr)
+	}
+}
+
+func TestCrashStopSilencesNode(t *testing.T) {
+	// Path 0-1-2 with the minimum id at vertex 0; crash vertex 1 (the only
+	// relay) at round 2, before it can forward id 0 to vertex 2.
+	g := graph.Path(3)
+	nw := NewNetwork(g)
+	res, err := Run(nw, func() Node { return &floodNode{} },
+		Config{B: 64, MaxRounds: 20, Faults: &FaultPlan{Crashes: []Crash{{Vertex: 1, Round: 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CrashedNodes != 1 {
+		t.Fatalf("CrashedNodes = %d", res.Stats.CrashedNodes)
+	}
+	// Vertex 2 never learns id 0 and rejects; vertex 0 accepts. The
+	// crashed vertex 1 did learn id 0 in round 1 but froze before its
+	// decision round, keeping the default accept.
+	if res.Decisions[2] != Reject {
+		t.Fatal("vertex 2 should have rejected: the relay crashed")
+	}
+	if res.Decisions[0] != Accept {
+		t.Fatal("vertex 0 should accept its own minimum")
+	}
+}
+
+func TestCrashedMessagesInFlightStillDelivered(t *testing.T) {
+	// Node 0 sends in round 1 and crashes at round 2: the round-1 message
+	// was already in flight and must arrive.
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	delivered := 0
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			delivered += len(inbox)
+			if env.ID() == 0 {
+				env.Send(1, bitio.Uint(1, 4))
+			}
+			if env.Round() == 3 {
+				env.Halt()
+			}
+		}}
+	}
+	if _, err := Run(nw, factory, Config{B: 8, MaxRounds: 5,
+		Faults: &FaultPlan{Crashes: []Crash{{Vertex: 0, Round: 2}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d messages, want exactly the in-flight one", delivered)
+	}
+}
+
+func TestThrottleDropsExcessDelivery(t *testing.T) {
+	// B = 16 but rounds 1-2 are throttled to 8 delivered bits per edge:
+	// of two 8-bit messages per round, the second exceeds the cap.
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	received := 0
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			received += len(inbox)
+			if env.ID() == 0 && env.Round() <= 3 {
+				env.Send(1, bitio.Uint(1, 8))
+				env.Send(1, bitio.Uint(2, 8))
+			}
+			if env.Round() == 4 {
+				env.Halt()
+			}
+		}}
+	}
+	res, err := Run(nw, factory, Config{B: 16, MaxRounds: 6,
+		Faults: &FaultPlan{Throttles: []Throttle{{FromRound: 1, ToRound: 2, Bits: 8}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DroppedMessages != 2 {
+		t.Fatalf("dropped %d, want 2 (one per throttled round)", res.Stats.DroppedMessages)
+	}
+	if received != 4 { // rounds 1-2 deliver one of two; round 3 delivers both
+		t.Fatalf("received %d messages, want 4", received)
+	}
+}
+
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	nw := NewNetwork(graph.Path(2))
+	for _, plan := range []*FaultPlan{
+		{DropRate: 1.5},
+		{CorruptRate: -0.1},
+		{Crashes: []Crash{{Vertex: 0, Round: 0}}},
+	} {
+		if _, err := Run(nw, func() Node { return &FuncNode{} },
+			Config{B: 8, MaxRounds: 2, Faults: plan}); err == nil {
+			t.Fatalf("plan %+v accepted", plan)
+		}
+	}
+}
+
+// Satellite: the engines must agree bit-for-bit under an active adversary
+// — transcripts (including fault tags) and fault stats identical.
+func TestQuickEngineEquivalenceUnderFaults(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(12, 0.3, rng)
+		plan := &FaultPlan{
+			Seed:        seed * 31,
+			DropRate:    0.2,
+			CorruptRate: 0.15,
+			Crashes:     []Crash{{Vertex: int(uint64(seed) % 12), Round: 3}},
+			Throttles:   []Throttle{{FromRound: 5, ToRound: 7, Bits: 32}},
+		}
+		run := func(parallel bool) string {
+			nw := NewNetwork(g)
+			res, err := Run(nw, func() Node { return &randomTrafficNode{} },
+				Config{B: 64, MaxRounds: 12, Seed: seed, Parallel: parallel,
+					Workers: 4, RecordTranscript: true, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return faultFingerprint(res)
+		}
+		return run(false) == run(true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// panickyNode panics at a chosen round.
+type panickyNode struct{ atRound int }
+
+func (p *panickyNode) Init(env *Env) {}
+func (p *panickyNode) Round(env *Env, inbox []Message) {
+	if env.Round() == p.atRound && env.ID() == 2 {
+		panic("boom")
+	}
+	env.Broadcast(bitio.Uint(1, 1))
+}
+
+func TestNodePanicContained(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := graph.Cycle(8)
+		nw := NewNetwork(g)
+		_, err := Run(nw, func() Node { return &panickyNode{atRound: 3} },
+			Config{B: 8, MaxRounds: 10, Parallel: parallel, Workers: 4})
+		var pe *NodePanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallel=%v: err = %v, want *NodePanicError", parallel, err)
+		}
+		if pe.Vertex != 2 || pe.ID != 2 || pe.Round != 3 {
+			t.Fatalf("parallel=%v: panic located at vertex %d round %d", parallel, pe.Vertex, pe.Round)
+		}
+		if pe.Value != "boom" || pe.Stack == "" {
+			t.Fatalf("parallel=%v: panic value %v", parallel, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "vertex 2") || !strings.Contains(pe.Error(), "round 3") {
+			t.Fatalf("error text %q", pe.Error())
+		}
+	}
+}
+
+func TestPanicDuringInitContained(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g)
+	factory := func() Node {
+		return &FuncNode{OnInit: func(env *Env) { panic("init boom") }}
+	}
+	_, err := Run(nw, factory, Config{B: 8, MaxRounds: 2})
+	var pe *NodePanicError
+	if !errors.As(err, &pe) || pe.Round != 0 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// slowNode sleeps every round, for deadline tests.
+type slowNode struct{ d time.Duration }
+
+func (s *slowNode) Init(env *Env) {}
+func (s *slowNode) Round(env *Env, inbox []Message) {
+	time.Sleep(s.d)
+	env.Broadcast(bitio.Uint(1, 4))
+}
+
+func TestDeadlineReturnsPartialStats(t *testing.T) {
+	g := graph.Cycle(4)
+	nw := NewNetwork(g)
+	res, err := Run(nw, func() Node { return &slowNode{d: 5 * time.Millisecond} },
+		Config{B: 8, MaxRounds: 1 << 30, Deadline: 40 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil || res.Stats.Rounds < 1 || res.Stats.TotalMessages == 0 {
+		t.Fatalf("partial result missing: %+v", res)
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("decisions %v", res.Decisions)
+	}
+}
+
+func TestContextCancelReturnsPartialStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.Cycle(4)
+	nw := NewNetwork(g)
+	res, err := Run(nw, func() Node { return &FuncNode{} },
+		Config{B: 8, MaxRounds: 100, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil || res.Stats.Rounds != 0 {
+		t.Fatalf("partial result %+v", res)
+	}
+}

@@ -30,6 +30,10 @@ func (d Decision) String() string {
 type Message struct {
 	From, To NodeID
 	Payload  bitio.BitString
+	// Fault is set only on transcript entries, recording the adversary's
+	// action on this message (see FaultTag). Delivered inbox copies always
+	// carry FaultNone — a node cannot detect corruption or observe drops.
+	Fault FaultTag
 }
 
 // Node is one participant's program. The runner creates one instance per
@@ -58,16 +62,35 @@ type Env struct {
 
 	out      []outMsg
 	halted   bool
+	crashed  bool
 	decision Decision
 	err      error
+
+	// capture, when non-nil, receives queued messages instead of out —
+	// the ResilientNode decorator's interception point for wrapping the
+	// inner node's traffic in ack/retransmit frames.
+	capture *[]outMsg
 }
 
 // outMsg is a message with its recipient resolved to a vertex index, which
 // is how the runner routes messages (identifiers may be duplicated in the
-// Section 5 input distribution, so IDs alone cannot route).
+// Section 5 input distribution, so IDs alone cannot route). port is the
+// index into the sender's ID-sorted neighbor list; the runner uses it to
+// key the flat per-directed-edge bandwidth accumulators.
 type outMsg struct {
-	toV int
-	msg Message
+	toV  int
+	port int32
+	msg  Message
+}
+
+// queue routes a message to the capture hook if installed, else to the
+// runner's outbox.
+func (e *Env) queue(m outMsg) {
+	if e.capture != nil {
+		*e.capture = append(*e.capture, m)
+		return
+	}
+	e.out = append(e.out, m)
 }
 
 // ID returns this node's identifier.
@@ -133,7 +156,7 @@ func (e *Env) Send(to NodeID, payload bitio.BitString) {
 		e.fail(fmt.Errorf("node %d: send to ambiguous duplicate id %d", e.id, to))
 		return
 	}
-	e.out = append(e.out, outMsg{toV: e.nbrVs[i], msg: Message{From: e.id, To: to, Payload: payload}})
+	e.queue(outMsg{toV: e.nbrVs[i], port: int32(i), msg: Message{From: e.id, To: to, Payload: payload}})
 }
 
 // SendPort queues payload on the port-th incident edge (ports are indices
@@ -155,7 +178,7 @@ func (e *Env) SendPort(port int, payload bitio.BitString) {
 		e.fail(fmt.Errorf("node %d: port %d out of range [0,%d)", e.id, port, len(e.neighbors)))
 		return
 	}
-	e.out = append(e.out, outMsg{toV: e.nbrVs[port], msg: Message{From: e.id, To: e.neighbors[port], Payload: payload}})
+	e.queue(outMsg{toV: e.nbrVs[port], port: int32(port), msg: Message{From: e.id, To: e.neighbors[port], Payload: payload}})
 }
 
 // Broadcast queues payload for delivery to every neighbor.
@@ -168,7 +191,7 @@ func (e *Env) Broadcast(payload bitio.BitString) {
 		return
 	}
 	for i, nb := range e.neighbors {
-		e.out = append(e.out, outMsg{toV: e.nbrVs[i], msg: Message{From: e.id, To: nb, Payload: payload}})
+		e.queue(outMsg{toV: e.nbrVs[i], port: int32(i), msg: Message{From: e.id, To: nb, Payload: payload}})
 	}
 }
 

@@ -1,0 +1,320 @@
+package congest
+
+import (
+	"fmt"
+
+	"subgraph/internal/bitio"
+)
+
+// The ResilientNode decorator adds end-to-end reliability on top of an
+// unreliable (fault-injected) network: every inner message is framed with
+// a sequence number, acknowledged by the receiver, and retransmitted a
+// bounded number of times — an α-synchronizer specialized to the
+// lockstep CONGEST setting. Every framing and retransmission bit goes
+// through the ordinary Env send path, so it is charged against the run's
+// bandwidth B and shows up in Stats like any algorithm traffic.
+//
+// Timing model: each inner ("logical") round is stretched into
+// Stretch() = 2·(MaxRetries+1) physical rounds, called slots. At slot 0
+// of phase p the inner node executes its logical round p; its messages
+// are bundled per neighbor and transmitted at the even slots 0, 2, …
+// until acknowledged or the retry budget is spent. Data received during
+// phase p is buffered and handed to the inner node at the start of phase
+// p+1 — exactly the synchronous semantics the inner algorithm assumes,
+// as long as at least one transmission of each bundle survives. The inner
+// node observes logical rounds through Env.Round, so round-indexed
+// algorithms (phase layouts, repetition schedules) run unchanged.
+//
+// Limitations: the decorator unicasts acks per edge, so it is
+// incompatible with broadcast-CONGEST enforcement, and it resolves
+// senders by identifier, so it does not support duplicate-ID networks.
+
+// ResilientConfig tunes the ack/retransmit decorator. The zero value
+// selects the defaults.
+type ResilientConfig struct {
+	// MaxRetries bounds retransmissions per bundle beyond the initial
+	// transmission (default 2: up to 3 transmissions total).
+	MaxRetries int
+	// SeqBits is the width of the frame sequence-number field (default 4).
+	// Phases are numbered mod 2^SeqBits; lockstep operation means only
+	// the current phase's number is ever in flight, so small widths are
+	// safe.
+	SeqBits int
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+	if c.SeqBits <= 0 {
+		c.SeqBits = 4
+	}
+	return c
+}
+
+// Stretch returns the number of physical rounds per logical round: one
+// send slot plus one ack slot per transmission attempt.
+func (c ResilientConfig) Stretch() int {
+	d := c.withDefaults()
+	return 2 * (d.MaxRetries + 1)
+}
+
+// maxBundleMsgs sizes the framing allowance in OuterB: the per-edge
+// bandwidth is widened for up to this many inner messages per bundle.
+// Bundles with more messages still encode correctly but may exceed the
+// widened B and surface as a bandwidth violation.
+const maxBundleMsgs = 4
+
+// OuterB returns the physical per-edge bandwidth needed to carry an inner
+// per-edge bandwidth of innerB plus the decorator's framing (ack flag and
+// sequence number, data flag and sequence number, message count, and
+// per-message length prefixes).
+func (c ResilientConfig) OuterB(innerB int) int {
+	d := c.withDefaults()
+	header := 2 + 2*d.SeqBits + bitio.GammaLen(uint64(maxBundleMsgs)) +
+		maxBundleMsgs*bitio.GammaLen(uint64(innerB))
+	return innerB + header
+}
+
+// WrapResilient wraps a node factory so every node runs under the
+// ack/retransmit decorator, and returns the adjusted simulator Config:
+// B widened by the framing overhead (when bounded) and MaxRounds
+// multiplied by the stretch, plus one extra phase to drain final
+// retransmissions. The inner nodes observe the original cfg.B and logical
+// round numbers.
+func WrapResilient(factory func() Node, cfg Config, rcfg ResilientConfig) (func() Node, Config, error) {
+	if cfg.Broadcast {
+		return nil, cfg, fmt.Errorf("congest: resilient decorator is incompatible with broadcast-CONGEST (acks are unicast)")
+	}
+	rc := rcfg.withDefaults()
+	out := cfg
+	innerB := cfg.B
+	if innerB > 0 {
+		out.B = rc.OuterB(innerB)
+	}
+	out.MaxRounds = (cfg.MaxRounds + 1) * rc.Stretch()
+	wrapped := func() Node {
+		return &resilientNode{inner: factory(), cfg: rc, innerB: innerB}
+	}
+	return wrapped, out, nil
+}
+
+// resilientBundle is one phase's outgoing traffic on one port.
+type resilientBundle struct {
+	payload bitio.BitString // encoded data section: count + (len, bits)*
+	seq     int             // phase number
+	sends   int             // transmissions so far
+	acked   bool
+	live    bool
+}
+
+type resilientNode struct {
+	inner  Node
+	cfg    ResilientConfig
+	innerB int
+
+	phase   int // current logical round (1-based)
+	slot    int // 0-based within the phase
+	stretch int
+	seqMask uint64
+
+	pending []resilientBundle // per port
+	acks    []int64           // per port: seq to ack at the next slot, -1 = none
+	gotSeq  []int64           // per port: phase of the last accepted bundle, -1 = none
+
+	curInbox    []Message // inner messages received during the current phase
+	nextInbox   []Message // handed to the inner node at the next phase start
+	innerHalted bool
+}
+
+func (rn *resilientNode) Init(env *Env) {
+	deg := env.Degree()
+	rn.stretch = rn.cfg.Stretch()
+	rn.seqMask = uint64(1)<<uint(rn.cfg.SeqBits) - 1
+	rn.phase = 1
+	rn.pending = make([]resilientBundle, deg)
+	rn.acks = make([]int64, deg)
+	rn.gotSeq = make([]int64, deg)
+	for i := 0; i < deg; i++ {
+		rn.acks[i] = -1
+		rn.gotSeq[i] = -1
+	}
+	saveB := env.b
+	env.b = rn.innerB
+	rn.inner.Init(env)
+	env.b = saveB
+}
+
+func (rn *resilientNode) Round(env *Env, inbox []Message) {
+	// 1. Parse arrivals — acks first applied against the previous phase's
+	// bundles (an ack sent at the last slot of phase p arrives at slot 0
+	// of phase p+1, before runInner replaces the bundles).
+	for _, m := range inbox {
+		if port := env.neighborIndex(m.From); port >= 0 {
+			rn.parseFrame(port, m)
+		}
+	}
+	// 2. Phase start: execute one logical round of the inner node.
+	if rn.slot == 0 && !rn.innerHalted {
+		rn.runInner(env)
+	}
+	// 3. Transmit acks and (re)transmissions on every port.
+	for port := 0; port < env.Degree(); port++ {
+		rn.transmit(env, port)
+	}
+	// 4. Advance the slot clock.
+	rn.slot++
+	if rn.slot == rn.stretch {
+		rn.slot = 0
+		rn.phase++
+		rn.nextInbox = append(rn.nextInbox[:0], rn.curInbox...)
+		rn.curInbox = rn.curInbox[:0]
+		if rn.innerHalted && rn.allSettled() {
+			env.Halt()
+		}
+	}
+}
+
+// runInner executes the wrapped node's logical round under a virtualized
+// Env (logical round number, inner bandwidth, send capture) and bundles
+// its output per port.
+func (rn *resilientNode) runInner(env *Env) {
+	saveRound, saveB := env.round, env.b
+	env.round = rn.phase
+	env.b = rn.innerB
+	var captured []outMsg
+	env.capture = &captured
+	rn.inner.Round(env, rn.nextInbox)
+	env.capture = nil
+	env.round, env.b = saveRound, saveB
+	rn.nextInbox = rn.nextInbox[:0]
+	if env.halted {
+		rn.innerHalted = true
+		env.halted = false // drain pending retransmissions first
+	}
+	for i := range rn.pending {
+		rn.pending[i] = resilientBundle{}
+	}
+	// Group captured messages per port, preserving emission order.
+	counts := make([]uint64, env.Degree())
+	for _, m := range captured {
+		counts[m.port]++
+	}
+	writers := make([]*bitio.Writer, env.Degree())
+	for _, m := range captured {
+		w := writers[m.port]
+		if w == nil {
+			w = bitio.NewWriter()
+			bitio.Gamma(w, counts[m.port])
+			writers[m.port] = w
+		}
+		bitio.Gamma(w, uint64(m.msg.Payload.Len()))
+		w.WriteBits(m.msg.Payload)
+	}
+	for port, w := range writers {
+		if w != nil {
+			rn.pending[port] = resilientBundle{payload: w.BitString(), seq: rn.phase, live: true}
+		}
+	}
+}
+
+// parseFrame decodes one physical message: [ackFlag][ackSeq?] followed by
+// [dataFlag][dataSeq? count (len bits)*]. Garbled frames (bit flips) that
+// fail to parse are ignored — indistinguishable from a drop, which the
+// retransmission path already covers.
+func (rn *resilientNode) parseFrame(port int, m Message) {
+	r := bitio.NewReader(m.Payload)
+	ackFlag, ok := r.ReadBit()
+	if !ok {
+		return
+	}
+	if ackFlag == 1 {
+		seq, ok := r.ReadUint(rn.cfg.SeqBits)
+		if !ok {
+			return
+		}
+		b := &rn.pending[port]
+		if b.live && uint64(b.seq)&rn.seqMask == seq {
+			b.acked = true
+		}
+	}
+	dataFlag, ok := r.ReadBit()
+	if !ok || dataFlag == 0 {
+		return
+	}
+	seq, ok := r.ReadUint(rn.cfg.SeqBits)
+	if !ok {
+		return
+	}
+	// Always (re-)ack observed data: our earlier ack may have been lost.
+	rn.acks[port] = int64(seq)
+	if seq != uint64(rn.phase)&rn.seqMask {
+		return // stale or garbled sequence number
+	}
+	if rn.gotSeq[port] == int64(rn.phase) {
+		return // duplicate of an already-accepted bundle
+	}
+	count, ok := bitio.GammaDecode(r)
+	if !ok || count > uint64(r.Remaining())+1 {
+		return
+	}
+	msgs := make([]Message, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, ok := bitio.GammaDecode(r)
+		if !ok || int(ln) > r.Remaining() {
+			return
+		}
+		payload := m.Payload.Slice(r.Pos(), r.Pos()+int(ln))
+		for j := 0; j < int(ln); j++ {
+			r.ReadBit()
+		}
+		msgs = append(msgs, Message{From: m.From, To: m.To, Payload: payload})
+	}
+	rn.gotSeq[port] = int64(rn.phase)
+	rn.curInbox = append(rn.curInbox, msgs...)
+}
+
+// transmit emits at most one physical message on port: a pending ack plus,
+// at even slots, the current bundle if it is still unacknowledged and has
+// retry budget left.
+func (rn *resilientNode) transmit(env *Env, port int) {
+	b := &rn.pending[port]
+	sendData := b.live && !b.acked && rn.slot%2 == 0 && b.sends <= rn.cfg.MaxRetries
+	sendAck := rn.acks[port] >= 0
+	if !sendData && !sendAck {
+		return
+	}
+	w := bitio.NewWriter()
+	if sendAck {
+		w.WriteBit(1)
+		w.WriteUint(uint64(rn.acks[port]), rn.cfg.SeqBits)
+		rn.acks[port] = -1
+	} else {
+		w.WriteBit(0)
+	}
+	if sendData {
+		w.WriteBit(1)
+		w.WriteUint(uint64(b.seq)&rn.seqMask, rn.cfg.SeqBits)
+		w.WriteBits(b.payload)
+		b.sends++
+	} else {
+		w.WriteBit(0)
+	}
+	env.SendPort(port, w.BitString())
+}
+
+// allSettled reports whether every bundle is delivered or exhausted and no
+// acks are owed — the point at which a halted inner node lets the
+// decorator halt too.
+func (rn *resilientNode) allSettled() bool {
+	for port := range rn.pending {
+		b := &rn.pending[port]
+		if b.live && !b.acked && b.sends <= rn.cfg.MaxRetries {
+			return false
+		}
+		if rn.acks[port] >= 0 {
+			return false
+		}
+	}
+	return true
+}

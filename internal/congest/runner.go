@@ -1,11 +1,14 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Config controls a simulation run.
@@ -29,6 +32,22 @@ type Config struct {
 	Workers int
 	// RecordTranscript retains every message sent, grouped by round.
 	RecordTranscript bool
+
+	// Faults injects a declarative fault plan (see faults.go). Nil or the
+	// zero plan leaves the network perfectly reliable; any plan is applied
+	// deterministically in the delivery phase, identically on both engines.
+	Faults *FaultPlan
+	// Adversary installs a custom delivery-phase hook; it takes precedence
+	// over Faults. The hook must be deterministic (see the interface docs).
+	Adversary Adversary
+	// Deadline aborts the run after a wall-clock budget (0 = none). The
+	// aborted run returns the partial Result accumulated so far together
+	// with an error wrapping context.DeadlineExceeded.
+	Deadline time.Duration
+	// Context optionally cancels the run between rounds; on cancellation
+	// Run returns the partial Result plus an error wrapping the context's
+	// cause. Nil means no cancellation.
+	Context context.Context
 }
 
 // Stats aggregates communication measurements of a run.
@@ -46,6 +65,17 @@ type Stats struct {
 	PerRoundBits []int64
 	// PerNodeBits[v] is the number of bits sent by vertex v in total.
 	PerNodeBits []int64
+
+	// DroppedMessages counts messages withheld by the fault adversary
+	// (Bernoulli, targeted, or throttled). Sent-side accounting above
+	// still includes them: the algorithm paid for the transmission.
+	DroppedMessages int64
+	// CorruptedMessages counts messages delivered with flipped bits.
+	CorruptedMessages int64
+	// CorruptedBits is the total number of payload bits flipped.
+	CorruptedBits int64
+	// CrashedNodes counts nodes crash-stopped by the adversary.
+	CrashedNodes int
 }
 
 // Result is the outcome of a run.
@@ -72,8 +102,30 @@ func (r *Result) Rejected() bool {
 // Transcript records all messages of a run in delivery order.
 type Transcript struct {
 	// Rounds[r] lists the messages sent in round r+1, sorted by
-	// (sender vertex, recipient vertex, emission order).
+	// (sender vertex, recipient vertex, emission order). Entries carry the
+	// adversary's FaultTag; corrupted entries show the payload as
+	// delivered, dropped entries the payload as sent.
 	Rounds [][]Message
+}
+
+// NodePanicError is a panic inside a node's Init or Round, recovered by
+// the runner (on either engine) and surfaced as a structured error instead
+// of taking down the process.
+type NodePanicError struct {
+	// Vertex and ID name the panicking node.
+	Vertex int
+	ID     NodeID
+	// Round is the round being executed (0 for Init).
+	Round int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *NodePanicError) Error() string {
+	return fmt.Sprintf("congest: node %d (vertex %d) panicked in round %d: %v",
+		e.ID, e.Vertex, e.Round, e.Value)
 }
 
 // Run executes factory-created nodes on the network under cfg.
@@ -81,11 +133,26 @@ type Transcript struct {
 // The factory is invoked once per vertex, in vertex order, and must return
 // a fresh Node each time. Run returns an error if the algorithm violates
 // the model (bandwidth exceeded, send to non-neighbor or ambiguous
-// duplicate ID, send during Init).
+// duplicate ID, send during Init) or panics (a *NodePanicError carrying
+// the vertex and round). On deadline expiry or context cancellation the
+// partial Result accumulated so far is returned alongside the error; all
+// other errors return a nil Result.
 func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	if cfg.MaxRounds <= 0 {
 		return nil, fmt.Errorf("congest: MaxRounds must be positive, got %d", cfg.MaxRounds)
 	}
+	adv := cfg.Adversary
+	if adv == nil && cfg.Faults != nil && !cfg.Faults.Empty() {
+		if err := cfg.Faults.validate(); err != nil {
+			return nil, err
+		}
+		adv = NewPlanAdversary(*cfg.Faults)
+	}
+	var start time.Time
+	if cfg.Deadline > 0 {
+		start = time.Now()
+	}
+
 	n := nw.N()
 	envs := make([]*Env, n)
 	nodes := make([]Node, n)
@@ -111,7 +178,7 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 
 	for v := 0; v < n; v++ {
 		envs[v].round = 0
-		nodes[v].Init(envs[v])
+		callNode(nodes[v], envs[v], v, 0, nil, true)
 		if len(envs[v].out) > 0 {
 			return nil, fmt.Errorf("congest: node %d sent during Init", nw.ids[v])
 		}
@@ -127,18 +194,64 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	}
 	inboxes := make([][]Message, n)
 
+	// Directed-edge index: edge (v, port) ↦ edgeOff[v] + port, where port
+	// is the position in v's ID-sorted neighbor list (recorded by Env at
+	// send time). Per-round accumulators are flat slices reset via a
+	// touched list — the delivery hot path allocates nothing per round.
+	edgeOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		edgeOff[v+1] = edgeOff[v] + int32(nw.G.Degree(v))
+	}
+	edgeSent := make([]int, edgeOff[n])
+	var edgeDelivered []int
+	if adv != nil {
+		edgeDelivered = make([]int, edgeOff[n])
+	}
+	touched := make([]int32, 0, 64)
+
+	finish := func() *Result {
+		res := &Result{
+			Decisions:  make([]Decision, n),
+			Stats:      stats,
+			Transcript: transcript,
+		}
+		for v := 0; v < n; v++ {
+			res.Decisions[v] = envs[v].decision
+		}
+		return res
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		// Check for global halt.
+		// Graceful abort paths: the partial Result is still returned.
+		if cfg.Context != nil {
+			select {
+			case <-cfg.Context.Done():
+				return finish(), fmt.Errorf("congest: run canceled after %d rounds: %w",
+					stats.Rounds, context.Cause(cfg.Context))
+			default:
+			}
+		}
+		if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
+			return finish(), fmt.Errorf("congest: deadline %v exceeded after %d rounds: %w",
+				cfg.Deadline, stats.Rounds, context.DeadlineExceeded)
+		}
+
+		// Apply crash-stop failures (sequentially, for determinism) and
+		// check for global halt.
 		allHalted := true
 		for v := 0; v < n; v++ {
-			if !envs[v].halted {
+			env := envs[v]
+			if adv != nil && !env.crashed && adv.Crashed(round, v) {
+				env.crashed = true
+				stats.CrashedNodes++
+			}
+			if !env.halted && !env.crashed {
 				allHalted = false
-				break
 			}
 		}
 		if allHalted {
@@ -147,12 +260,12 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 
 		step := func(v int) {
 			env := envs[v]
-			if env.halted {
+			if env.halted || env.crashed {
 				return
 			}
 			env.round = round
 			inbox := inboxes[v]
-			nodes[v].Round(env, inbox)
+			callNode(nodes[v], env, v, round, inbox, false)
 		}
 		if cfg.Parallel && n > 1 {
 			var wg sync.WaitGroup
@@ -181,10 +294,11 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 		}
 		stats.Rounds = round
 
-		// Collect, validate and deliver (sequential, deterministic).
+		// Collect, validate, apply faults and deliver (sequential,
+		// deterministic — the first error in vertex order wins on both
+		// engines).
 		next := make([][]Message, n)
 		var roundBits int64
-		edgeBits := make(map[[2]int]int)
 		var roundLog []Message
 		for v := 0; v < n; v++ {
 			env := envs[v]
@@ -192,28 +306,56 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 				return nil, env.err
 			}
 			for _, m := range env.out {
-				toV := m.toV
+				e := int(edgeOff[v]) + int(m.port)
 				bits := m.msg.Payload.Len()
-				key := [2]int{v, toV}
-				edgeBits[key] += bits
-				if cfg.B > 0 && edgeBits[key] > cfg.B {
+				touched = append(touched, int32(e))
+				edgeSent[e] += bits
+				if cfg.B > 0 && edgeSent[e] > cfg.B {
 					return nil, fmt.Errorf(
 						"congest: bandwidth violation in round %d: node %d sent %d bits to %d (B=%d)",
-						round, env.id, edgeBits[key], nw.ids[toV], cfg.B)
+						round, env.id, edgeSent[e], nw.ids[m.toV], cfg.B)
 				}
 				roundBits += int64(bits)
 				stats.TotalMessages++
 				stats.PerNodeBits[v] += int64(bits)
-				if edgeBits[key] > stats.MaxEdgeBitsRound {
-					stats.MaxEdgeBitsRound = edgeBits[key]
+				if edgeSent[e] > stats.MaxEdgeBitsRound {
+					stats.MaxEdgeBitsRound = edgeSent[e]
 				}
-				next[toV] = append(next[toV], m.msg)
+				payload, tag, flipped := m.msg.Payload, FaultNone, 0
+				if adv != nil {
+					payload, tag, flipped = adv.Deliver(round, v, m.toV, edgeDelivered[e], payload)
+				}
+				switch tag {
+				case FaultDropped:
+					stats.DroppedMessages++
+				case FaultCorrupted:
+					stats.CorruptedMessages++
+					stats.CorruptedBits += int64(flipped)
+				}
+				if tag != FaultDropped {
+					if adv != nil {
+						edgeDelivered[e] += payload.Len()
+					}
+					dm := m.msg
+					dm.Payload = payload
+					next[m.toV] = append(next[m.toV], dm)
+				}
 				if transcript != nil {
-					roundLog = append(roundLog, m.msg)
+					lm := m.msg
+					lm.Payload = payload
+					lm.Fault = tag
+					roundLog = append(roundLog, lm)
 				}
 			}
 			env.out = env.out[:0]
 		}
+		for _, e := range touched {
+			edgeSent[e] = 0
+			if adv != nil {
+				edgeDelivered[e] = 0
+			}
+		}
+		touched = touched[:0]
 		stats.TotalBits += roundBits
 		stats.PerRoundBits = append(stats.PerRoundBits, roundBits)
 		if transcript != nil {
@@ -227,15 +369,31 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 		inboxes = next
 	}
 
-	res := &Result{
-		Decisions:  make([]Decision, n),
-		Stats:      stats,
-		Transcript: transcript,
+	return finish(), nil
+}
+
+// callNode invokes Init (init=true) or Round with panic containment: a
+// panic is recovered into a *NodePanicError on the node's env, surfaced by
+// the runner through the usual first-error-in-vertex-order path — so a
+// panic inside a parallel-engine worker goroutine no longer takes down the
+// process, and both engines report the identical error.
+func callNode(node Node, env *Env, v, round int, inbox []Message, init bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			env.fail(&NodePanicError{
+				Vertex: v,
+				ID:     env.id,
+				Round:  round,
+				Value:  r,
+				Stack:  string(debug.Stack()),
+			})
+		}
+	}()
+	if init {
+		node.Init(env)
+	} else {
+		node.Round(env, inbox)
 	}
-	for v := 0; v < n; v++ {
-		res.Decisions[v] = envs[v].decision
-	}
-	return res, nil
 }
 
 // mixSeed decorrelates per-node RNG seeds with a splitmix64 finalizer:

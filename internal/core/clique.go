@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -20,6 +21,11 @@ type CliqueConfig struct {
 	S        int
 	Seed     int64
 	Parallel bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
 }
 
 // CliqueReport is the outcome of the clique detector.
@@ -94,13 +100,13 @@ func DetectClique(nw *congest.Network, cfg CliqueConfig) (*CliqueReport, error) 
 	factory := func() congest.Node {
 		return &cliqueNode{s: cfg.S, idBits: idBits}
 	}
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         idBits,
 		MaxRounds: nw.N() + 3,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, nil)
+	if res == nil {
 		return nil, err
 	}
 	return &CliqueReport{
@@ -108,5 +114,5 @@ func DetectClique(nw *congest.Network, cfg CliqueConfig) (*CliqueReport, error) 
 		Rounds:    res.Stats.Rounds,
 		Bandwidth: idBits,
 		Stats:     res.Stats,
-	}, nil
+	}, err
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -36,6 +37,11 @@ type CollectConfig struct {
 	H        *graph.Graph
 	Seed     int64
 	Parallel bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
 }
 
 // CollectReport is the outcome of the edge-collection detector.
@@ -156,13 +162,13 @@ func DetectCollect(nw *congest.Network, cfg CollectConfig) (*CollectReport, erro
 	factory := func() congest.Node {
 		return &collectNode{h: cfg.H, idBits: idBits, budget: budget}
 	}
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         2 * idBits,
 		MaxRounds: budget + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, nil)
+	if res == nil {
 		return nil, err
 	}
 	return &CollectReport{
@@ -170,5 +176,5 @@ func DetectCollect(nw *congest.Network, cfg CollectConfig) (*CollectReport, erro
 		Rounds:    res.Stats.Rounds,
 		Bandwidth: 2 * idBits,
 		Stats:     res.Stats,
-	}, nil
+	}, err
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -142,6 +143,15 @@ type LinearCycleConfig struct {
 	// BroadcastOnly enforces the broadcast-CONGEST variant; the token
 	// relay only broadcasts, so the algorithm is unchanged.
 	BroadcastOnly bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
+	// Resilient wraps every node in the ack/retransmit decorator
+	// (congest.WrapResilient), trading rounds and bandwidth for
+	// tolerance to message loss. Incompatible with BroadcastOnly.
+	Resilient *congest.ResilientConfig
 }
 
 // LinearCycleReport is the outcome of the baseline detector.
@@ -209,14 +219,14 @@ func DetectCycleLinear(nw *congest.Network, cfg LinearCycleConfig) (*LinearCycle
 	factory := func() congest.Node {
 		return &linearCycleNode{cfg: cfg, codec: codec, perRep: perRep}
 	}
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         codec.idBits + codec.hopBits,
 		MaxRounds: perRep*cfg.Reps + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
 		Broadcast: cfg.BroadcastOnly,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	if res == nil {
 		return nil, err
 	}
 	return &LinearCycleReport{
@@ -225,7 +235,7 @@ func DetectCycleLinear(nw *congest.Network, cfg LinearCycleConfig) (*LinearCycle
 		RoundsPerRep: perRep,
 		Bandwidth:    codec.idBits + codec.hopBits,
 		Stats:        res.Stats,
-	}, nil
+	}, err
 }
 
 // DefaultCycleReps returns a repetition count giving constant detection

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -58,6 +59,15 @@ type EvenCycleConfig struct {
 	// Phase II budget but risks decomposition failure (a sound reject
 	// only when M ≥ ex(n, C_2k) truly holds).
 	PeelFactor int
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
+	// Resilient wraps every node in the ack/retransmit decorator
+	// (congest.WrapResilient), trading rounds and bandwidth for
+	// tolerance to message loss. Incompatible with BroadcastOnly.
+	Resilient *congest.ResilientConfig
 }
 
 // EvenCycleReport is the outcome of the detector.
@@ -474,14 +484,14 @@ func DetectEvenCycle(nw *congest.Network, cfg EvenCycleConfig) (*EvenCycleReport
 	}
 	plan := newEvenCyclePlan(nw, cfg)
 	factory := func() congest.Node { return &evenCycleNode{plan: plan} }
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         plan.bandwidth(),
 		MaxRounds: plan.total,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
 		Broadcast: cfg.BroadcastOnly,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	if res == nil {
 		return nil, err
 	}
 	return &EvenCycleReport{
@@ -495,5 +505,5 @@ func DetectEvenCycle(nw *congest.Network, cfg EvenCycleConfig) (*EvenCycleReport
 		Layers:     plan.layers,
 		Bandwidth:  plan.bandwidth(),
 		Stats:      res.Stats,
-	}, nil
+	}, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -22,6 +23,11 @@ type LocalConfig struct {
 	H        *graph.Graph
 	Seed     int64
 	Parallel bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
 }
 
 // LocalReport is the outcome of the LOCAL detector.
@@ -97,13 +103,13 @@ func DetectLocal(nw *congest.Network, cfg LocalConfig) (*LocalReport, error) {
 	factory := func() congest.Node {
 		return &localNode{h: cfg.H, idBits: idBits, radius: radius}
 	}
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         0, // LOCAL: unbounded
 		MaxRounds: radius + 2,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, nil)
+	if res == nil {
 		return nil, err
 	}
 	return &LocalReport{
@@ -111,5 +117,5 @@ func DetectLocal(nw *congest.Network, cfg LocalConfig) (*LocalReport, error) {
 		Rounds:         res.Stats.Rounds,
 		MaxMessageBits: res.Stats.MaxEdgeBitsRound,
 		Stats:          res.Stats,
-	}, nil
+	}, err
 }

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"time"
+
+	"subgraph/internal/congest"
+)
+
+// runRobust applies the robustness knobs shared by every detector config —
+// fault plan, wall-clock deadline, optional ack/retransmit decorator — to
+// a simulator invocation and executes it. On a deadline or cancellation
+// abort the partial Result is returned alongside the error, so callers
+// surface a partial report instead of nothing.
+func runRobust(nw *congest.Network, factory func() congest.Node, ccfg congest.Config,
+	faults *congest.FaultPlan, deadline time.Duration, resilient *congest.ResilientConfig) (*congest.Result, error) {
+	ccfg.Faults = faults
+	ccfg.Deadline = deadline
+	if resilient != nil {
+		var err error
+		factory, ccfg, err = congest.WrapResilient(factory, ccfg, *resilient)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return congest.Run(nw, factory, ccfg)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -28,6 +29,11 @@ type TreeConfig struct {
 	Coloring func(id congest.NodeID, rep int) int
 	Seed     int64
 	Parallel bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
 }
 
 // TreeReport is the outcome of the tree detector.
@@ -191,13 +197,13 @@ func DetectTree(nw *congest.Network, cfg TreeConfig) (*TreeReport, error) {
 	}
 	plan := newTreePlan(cfg)
 	factory := func() congest.Node { return &treeNode{plan: plan} }
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         plan.t,
 		MaxRounds: plan.perRep*cfg.Reps + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, nil)
+	if res == nil {
 		return nil, err
 	}
 	return &TreeReport{
@@ -206,5 +212,5 @@ func DetectTree(nw *congest.Network, cfg TreeConfig) (*TreeReport, error) {
 		RoundsPerRep: plan.perRep,
 		Bandwidth:    plan.t,
 		Stats:        res.Stats,
-	}, nil
+	}, err
 }

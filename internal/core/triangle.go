@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
 )
@@ -19,6 +21,16 @@ import (
 type TriangleConfig struct {
 	Seed     int64
 	Parallel bool
+	// Faults optionally injects a delivery-phase fault plan (drops,
+	// corruption, crash-stops, throttling).
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
+	// Resilient wraps every node in the ack/retransmit decorator
+	// (congest.WrapResilient), trading rounds and bandwidth for
+	// tolerance to message loss.
+	Resilient *congest.ResilientConfig
 }
 
 // TriangleReport is the outcome of the triangle detector.
@@ -69,13 +81,13 @@ func (tn *triangleNode) Round(env *congest.Env, inbox []congest.Message) {
 func DetectTriangle(nw *congest.Network, cfg TriangleConfig) (*TriangleReport, error) {
 	idBits := nw.IDBits()
 	factory := func() congest.Node { return &triangleNode{idBits: idBits} }
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         idBits,
 		MaxRounds: nw.G.MaxDegree() + 3,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	if res == nil {
 		return nil, err
 	}
 	return &TriangleReport{
@@ -84,5 +96,5 @@ func DetectTriangle(nw *congest.Network, cfg TriangleConfig) (*TriangleReport, e
 		Bandwidth: idBits,
 		MaxDegree: nw.G.MaxDegree(),
 		Stats:     res.Stats,
-	}, nil
+	}, err
 }

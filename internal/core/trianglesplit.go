@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
@@ -37,6 +38,11 @@ type TriangleSplitConfig struct {
 	Threshold int
 	Seed      int64
 	Parallel  bool
+	// Faults optionally injects a delivery-phase fault plan.
+	Faults *congest.FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none); on
+	// expiry the partial report is returned alongside the error.
+	Deadline time.Duration
 }
 
 // TriangleSplitReport is the outcome of the degree-split detector.
@@ -166,13 +172,13 @@ func DetectTriangleSplit(nw *congest.Network, cfg TriangleSplitConfig) (*Triangl
 			endAt:     endAt,
 		}
 	}
-	res, err := congest.Run(nw, factory, congest.Config{
+	res, err := runRobust(nw, factory, congest.Config{
 		B:         idBits,
 		MaxRounds: endAt + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	})
-	if err != nil {
+	}, cfg.Faults, cfg.Deadline, nil)
+	if res == nil {
 		return nil, err
 	}
 	return &TriangleSplitReport{
@@ -182,5 +188,5 @@ func DetectTriangleSplit(nw *congest.Network, cfg TriangleSplitConfig) (*Triangl
 		HighCount: highCount,
 		Bandwidth: idBits,
 		Stats:     res.Stats,
-	}, nil
+	}, err
 }

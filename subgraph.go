@@ -27,6 +27,7 @@ package subgraph
 
 import (
 	"fmt"
+	"time"
 
 	"subgraph/internal/cclique"
 	"subgraph/internal/congest"
@@ -47,6 +48,19 @@ type (
 	NodeID = congest.NodeID
 	// Stats aggregates communication measurements of a run.
 	Stats = congest.Stats
+	// FaultPlan is a seeded, declarative fault-injection configuration:
+	// message drops (Bernoulli and targeted), payload corruption,
+	// crash-stop failures, and delivery throttling.
+	FaultPlan = congest.FaultPlan
+	// Crash is a crash-stop failure entry of a FaultPlan.
+	Crash = congest.Crash
+	// TargetedDrop is a per-edge per-round drop entry of a FaultPlan.
+	TargetedDrop = congest.TargetedDrop
+	// Throttle is a delivery-capacity window entry of a FaultPlan.
+	Throttle = congest.Throttle
+	// ResilientConfig tunes the ack/retransmit decorator enabled by
+	// Options.Resilient.
+	ResilientConfig = congest.ResilientConfig
 )
 
 // NewGraphBuilder returns a builder for a graph on n vertices.
@@ -104,6 +118,18 @@ type Options struct {
 	Seed int64
 	// Parallel selects the goroutine simulator engine.
 	Parallel bool
+	// Faults injects a fault plan into the simulator's delivery phase
+	// (nil = perfectly reliable network).
+	Faults *FaultPlan
+	// Deadline aborts the run after a wall-clock budget (0 = none). On
+	// expiry Detect returns the partial Report alongside an error
+	// wrapping context.DeadlineExceeded.
+	Deadline time.Duration
+	// Resilient wraps every node in the ack/bounded-retransmit decorator
+	// so detection tolerates message loss, at a constant-factor round and
+	// bandwidth overhead. Supported for triangle and cycle patterns; other
+	// patterns return an error.
+	Resilient bool
 }
 
 // Report summarizes a detection run.
@@ -139,40 +165,55 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 	if h == nil || h.N() == 0 {
 		return nil, fmt.Errorf("subgraph: empty pattern")
 	}
+	var resilient *ResilientConfig
+	if opts.Resilient {
+		resilient = &ResilientConfig{}
+	}
 	switch {
 	case h.IsTree():
+		if resilient != nil {
+			return nil, fmt.Errorf("subgraph: resilient mode is not supported for tree patterns")
+		}
 		reps := opts.Reps
 		if reps <= 0 {
 			reps = defaultTreeReps(h.N())
 		}
 		r, err := core.DetectTree(nw, core.TreeConfig{
 			Tree: h, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
+			Faults: opts.Faults, Deadline: opts.Deadline,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		return &Report{Detected: r.Detected, Algorithm: "tree-color-coding",
-			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 
 	case h.N() == 3 && h.M() == 3:
 		// Triangles: both exact detectors are O(log n)-bandwidth; pick
 		// the cheaper round budget — Δ (neighbor exchange) vs √(2m)
-		// (degree split).
+		// (degree split). Resilient mode forces neighbor exchange, the
+		// variant the decorator supports.
 		delta := nw.G.MaxDegree()
-		if float64(delta*delta) <= float64(2*nw.G.M()) {
-			r, err := core.DetectTriangle(nw, core.TriangleConfig{Seed: opts.Seed, Parallel: opts.Parallel})
-			if err != nil {
+		if resilient != nil || float64(delta*delta) <= float64(2*nw.G.M()) {
+			r, err := core.DetectTriangle(nw, core.TriangleConfig{
+				Seed: opts.Seed, Parallel: opts.Parallel,
+				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
+			})
+			if r == nil {
 				return nil, err
 			}
 			return &Report{Detected: r.Detected, Algorithm: "triangle-neighbor-exchange",
-				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 		}
-		r, err := core.DetectTriangleSplit(nw, core.TriangleSplitConfig{Seed: opts.Seed, Parallel: opts.Parallel})
-		if err != nil {
+		r, err := core.DetectTriangleSplit(nw, core.TriangleSplitConfig{
+			Seed: opts.Seed, Parallel: opts.Parallel,
+			Faults: opts.Faults, Deadline: opts.Deadline,
+		})
+		if r == nil {
 			return nil, err
 		}
 		return &Report{Detected: r.Detected, Algorithm: "triangle-degree-split",
-			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 
 	case isCycle(h):
 		L := h.N()
@@ -184,12 +225,13 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 			r, err := core.DetectEvenCycle(nw, core.EvenCycleConfig{
 				K: L / 2, PhaseIReps: reps, PhaseIIReps: reps,
 				Seed: opts.Seed, Parallel: opts.Parallel,
+				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
 			})
-			if err != nil {
+			if r == nil {
 				return nil, err
 			}
 			return &Report{Detected: r.Detected, Algorithm: "even-cycle-sublinear",
-				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+				Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 		}
 		reps := opts.Reps
 		if reps <= 0 {
@@ -197,44 +239,56 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectCycleLinear(nw, core.LinearCycleConfig{
 			CycleLen: L, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
+			Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		return &Report{Detected: r.Detected, Algorithm: "cycle-linear",
-			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 
 	case isClique(h):
+		if resilient != nil {
+			return nil, fmt.Errorf("subgraph: resilient mode is not supported for clique patterns")
+		}
 		r, err := core.DetectClique(nw, core.CliqueConfig{
 			S: h.N(), Seed: opts.Seed, Parallel: opts.Parallel,
+			Faults: opts.Faults, Deadline: opts.Deadline,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		return &Report{Detected: r.Detected, Algorithm: "clique-linear",
-			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 
 	default:
+		if resilient != nil {
+			return nil, fmt.Errorf("subgraph: resilient mode is not supported for general patterns")
+		}
 		r, err := core.DetectCollect(nw, core.CollectConfig{
 			H: h, Seed: opts.Seed, Parallel: opts.Parallel,
+			Faults: opts.Faults, Deadline: opts.Deadline,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		return &Report{Detected: r.Detected, Algorithm: "edge-collection",
-			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, nil
+			Rounds: r.Rounds, BandwidthBits: r.Bandwidth, Stats: r.Stats}, err
 	}
 }
 
 // DetectLocal decides pattern containment in the LOCAL model (unbounded
 // messages, O(|h|) rounds) — exact and deterministic.
 func DetectLocal(nw *Network, h *Graph, opts Options) (*Report, error) {
-	r, err := core.DetectLocal(nw, core.LocalConfig{H: h, Seed: opts.Seed, Parallel: opts.Parallel})
-	if err != nil {
+	r, err := core.DetectLocal(nw, core.LocalConfig{
+		H: h, Seed: opts.Seed, Parallel: opts.Parallel,
+		Faults: opts.Faults, Deadline: opts.Deadline,
+	})
+	if r == nil {
 		return nil, err
 	}
 	return &Report{Detected: r.Detected, Algorithm: "local-ball-collection",
-		Rounds: r.Rounds, BandwidthBits: 0, Stats: r.Stats}, nil
+		Rounds: r.Rounds, BandwidthBits: 0, Stats: r.Stats}, err
 }
 
 // CliqueListing is the outcome of congested-clique K_s listing.

@@ -6,6 +6,13 @@
 //	congestsim -graph gnp -n 100 -p 0.05 -pattern cycle:4 -reps 100
 //	congestsim -graph complete -n 30 -pattern clique:5
 //	congestsim -graph planted-cycle -n 200 -cycle 6 -pattern cycle:6 -model local
+//
+// Observability: -tracefile streams every run event as JSON Lines,
+// -report writes a machine-readable metrics report, and the
+// -cpuprofile / -memprofile / -trace / -pprof flags wire Go's profilers:
+//
+//	congestsim -graph gnp -n 200 -pattern cycle:4 -seed 7 \
+//	    -tracefile run.jsonl -report report.json -cpuprofile cpu.out
 package main
 
 import (
@@ -17,9 +24,16 @@ import (
 	"strings"
 
 	"subgraph"
+	"subgraph/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning (instead of os.Exit-ing) lets the
+// deferred profile/trace finalizers flush before the process exits.
+func run() int {
 	var (
 		file      = flag.String("file", "", "load the topology from an edge-list file instead of generating one")
 		graphKind = flag.String("graph", "gnp", "topology: gnp | complete | cycle | path | tree | planted-cycle | planted-clique")
@@ -37,12 +51,25 @@ func main() {
 		crash     = flag.String("crash", "", "fault injection: crash-stop failures as \"v@r,v@r\" (vertex v crashes at round r)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none); on expiry the partial result is printed")
 		resilient = flag.Bool("resilient", false, "wrap nodes in the ack/retransmit decorator to tolerate message loss")
+		tracefile = flag.String("tracefile", "", "stream run events to this file as JSON Lines")
+		report    = flag.String("report", "", "write a JSON run report (metrics, per-round series) to this file")
 	)
+	var profiles obs.Profiles
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(*seed))
 	var g *subgraph.Graph
-	var err error
 	if *file != "" {
 		g, err = loadGraph(*file)
 		*graphKind = *file
@@ -51,12 +78,12 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	h, err := buildPattern(*pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	fmt.Printf("network : %s n=%d m=%d\n", *graphKind, g.N(), g.M())
@@ -65,13 +92,45 @@ func main() {
 	faults, err := buildFaultPlan(*seed, *drop, *corrupt, *crash)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+
+	// Observability sinks: a streaming JSONL trace and/or a metrics
+	// collector for the JSON run report, fanned out from one Tracer.
+	var trace *subgraph.JSONLTracer
+	var collector *subgraph.Collector
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		trace = subgraph.NewJSONLTracer(f)
+		defer func() {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tracefile: %v\n", err)
+			}
+		}()
+	}
+	if *report != "" {
+		collector = subgraph.NewCollector()
 	}
 
 	nw := subgraph.NewNetwork(g)
 	opts := subgraph.Options{
 		Reps: *reps, Seed: *seed, Parallel: *parallel,
 		Faults: faults, Deadline: *deadline, Resilient: *resilient,
+	}
+	if trace != nil || collector != nil {
+		var tracers []subgraph.Tracer
+		if trace != nil {
+			tracers = append(tracers, trace)
+		}
+		if collector != nil {
+			tracers = append(tracers, collector)
+		}
+		opts.Trace = subgraph.MultiTracer(tracers...)
 	}
 	var rep *subgraph.Report
 	if *model == "local" {
@@ -81,7 +140,7 @@ func main() {
 	}
 	if rep == nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if err != nil {
 		// Deadline / cancellation: report the partial result.
@@ -89,16 +148,30 @@ func main() {
 	}
 	fmt.Printf("algorithm: %s\n", rep.Algorithm)
 	fmt.Printf("detected : %v\n", rep.Detected)
-	fmt.Printf("rounds   : %d\n", rep.Rounds)
 	fmt.Printf("bandwidth: %d bits/edge/round (0 = unbounded)\n", rep.BandwidthBits)
-	fmt.Printf("traffic  : %d bits, %d messages, max %d bits on one edge in a round\n",
-		rep.Stats.TotalBits, rep.Stats.TotalMessages, rep.Stats.MaxEdgeBitsRound)
-	if faults != nil {
-		fmt.Printf("faults   : %d dropped, %d corrupted (%d bits flipped), %d crashed\n",
-			rep.Stats.DroppedMessages, rep.Stats.CorruptedMessages,
-			rep.Stats.CorruptedBits, rep.Stats.CrashedNodes)
-	}
+	fmt.Print(rep.Stats.Summary())
 	fmt.Printf("truth    : %v (centralized check)\n", subgraph.ContainsSubgraph(h, g))
+
+	if collector != nil {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		werr := collector.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", werr)
+			return 2
+		}
+		fmt.Printf("report   : wrote %s\n", *report)
+	}
+	if *tracefile != "" {
+		fmt.Printf("trace    : wrote %s\n", *tracefile)
+	}
+	return 0
 }
 
 // buildFaultPlan assembles a FaultPlan from the -drop / -corrupt / -crash

@@ -1,28 +1,62 @@
 // experiments regenerates every table of EXPERIMENTS.md: one experiment
 // per theorem/figure of the paper (index in DESIGN.md §3).
 //
-//	experiments            # the full sweep used for EXPERIMENTS.md
-//	experiments -quick     # a fast smoke-scale run
-//	experiments -only E4   # a single experiment
+//	experiments                  # the full sweep used for EXPERIMENTS.md
+//	experiments -quick           # a fast smoke-scale run
+//	experiments -only E4         # a single experiment
+//	experiments -json out.json   # additionally dump every table as JSON
+//
+// The -cpuprofile / -memprofile / -trace / -pprof flags profile the
+// sweep itself (see the README's Observability section).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"subgraph/internal/experiments"
+	"subgraph/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		quick = flag.Bool("quick", false, "small sizes (seconds instead of minutes)")
-		only  = flag.String("only", "", "run a single experiment: E1 .. E8")
-		seed  = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "small sizes (seconds instead of minutes)")
+		only     = flag.String("only", "", "run a single experiment: E1 .. E8")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonPath = flag.String("json", "", "also write every table as structured JSON to this file")
 	)
+	var profiles obs.Profiles
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
+	}
+	var suite *experiments.Suite
+	if *jsonPath != "" {
+		suite = experiments.NewSuite(*seed, *quick)
+	}
+	// show prints a table and records its raw rows in the suite.
+	show := func(experiment, title, formatted string, rows any) {
+		fmt.Print(formatted)
+		fmt.Println()
+		suite.Add(experiment, title, rows)
 	}
 
 	if want("E1") {
@@ -32,27 +66,27 @@ func main() {
 			nsK2 = []int{100, 200, 400}
 			nsK3 = []int{100, 200}
 		}
-		fmt.Print(experiments.FormatE1(experiments.E1EvenCycleScaling(2, nsK2, *seed)))
-		fmt.Println()
-		fmt.Print(experiments.FormatE1(experiments.E1EvenCycleScaling(3, nsK3, *seed)))
-		fmt.Println()
+		rowsK2 := experiments.E1EvenCycleScaling(2, nsK2, *seed)
+		show("E1", "even-cycle scaling k=2", experiments.FormatE1(rowsK2), rowsK2)
+		rowsK3 := experiments.E1EvenCycleScaling(3, nsK3, *seed)
+		show("E1", "even-cycle scaling k=3", experiments.FormatE1(rowsK3), rowsK3)
 		repsList, trials := []int{1, 4, 16, 64}, 30
 		if *quick {
 			repsList, trials = []int{1, 8}, 8
 		}
-		fmt.Print(experiments.FormatE1Prob(experiments.E1DetectionProbability(2, 120, repsList, trials, *seed)))
-		fmt.Println()
+		prob := experiments.E1DetectionProbability(2, 120, repsList, trials, *seed)
+		show("E1", "detection probability vs repetitions", experiments.FormatE1Prob(prob), prob)
 	}
 	if want("E2") {
 		ns := []int{3, 4, 6, 8, 12}
 		if *quick {
 			ns = []int{3, 5}
 		}
-		fmt.Print(experiments.FormatE2(experiments.E2LowerBoundFamily(2, ns, *seed)))
-		fmt.Println()
+		rows := experiments.E2LowerBoundFamily(2, ns, *seed)
+		show("E2", "lower-bound family k=2", experiments.FormatE2(rows), rows)
 		if !*quick {
-			fmt.Print(experiments.FormatE2(experiments.E2LowerBoundFamily(3, []int{3, 5, 8}, *seed)))
-			fmt.Println()
+			rows = experiments.E2LowerBoundFamily(3, []int{3, 5, 8}, *seed)
+			show("E2", "lower-bound family k=3", experiments.FormatE2(rows), rows)
 		}
 	}
 	if want("E3") {
@@ -60,8 +94,8 @@ func main() {
 		if *quick {
 			ns = []int{3, 4}
 		}
-		fmt.Print(experiments.FormatE3(experiments.E3BipartiteFamily(2, ns, *seed)))
-		fmt.Println()
+		rows := experiments.E3BipartiteFamily(2, ns, *seed)
+		show("E3", "bipartite family k=2", experiments.FormatE3(rows), rows)
 	}
 	if want("E4") {
 		parts := []int{8, 12, 16}
@@ -70,41 +104,41 @@ func main() {
 			parts = []int{8}
 			bits = []int{1, 5}
 		}
-		fmt.Print(experiments.FormatE4(experiments.E4Fooling(parts, bits)))
-		fmt.Println()
+		rows := experiments.E4Fooling(parts, bits)
+		show("E4", "fooling-set bandwidth bound", experiments.FormatE4(rows), rows)
 		pads := []int{1, 5, 20}
 		if *quick {
 			pads = []int{1, 5}
 		}
-		fmt.Print(experiments.FormatE4Padded(experiments.E4PaddedFooling(8, []int{1, 5}, pads)))
-		fmt.Println()
+		padded := experiments.E4PaddedFooling(8, []int{1, 5}, pads)
+		show("E4", "padded fooling set", experiments.FormatE4Padded(padded), padded)
 	}
 	if want("E5") {
 		n, samples := 64, 40000
 		if *quick {
 			n, samples = 32, 8000
 		}
-		fmt.Print(experiments.FormatE5(experiments.E5OneRound(n, samples, *seed)))
-		fmt.Println()
+		rows := experiments.E5OneRound(n, samples, *seed)
+		show("E5", "one-round triangle error", experiments.FormatE5(rows), rows)
 		capNs := []int{128, 256, 512, 1024}
 		if *quick {
 			capNs = []int{128, 256}
 		}
-		fmt.Print(experiments.FormatE5Cap(experiments.E5Lemma54Binding(capNs, samples/2, *seed)))
-		fmt.Println()
+		caps := experiments.E5Lemma54Binding(capNs, samples/2, *seed)
+		show("E5", "Lemma 5.4 binding", experiments.FormatE5Cap(caps), caps)
 	}
 	if want("E6") {
-		fmt.Print(experiments.FormatE6Counts(experiments.E6Lemma13(*seed)))
-		fmt.Println()
+		counts := experiments.E6Lemma13(*seed)
+		show("E6", "Lemma 1.3 split counts", experiments.FormatE6Counts(counts), counts)
 		ns := []int{16, 24, 32, 48, 64}
 		if *quick {
 			ns = []int{16, 24}
 		}
-		fmt.Print(experiments.FormatE6Listing(experiments.E6Listing(3, ns, *seed)))
-		fmt.Println()
+		rows := experiments.E6Listing(3, ns, *seed)
+		show("E6", "triangle listing", experiments.FormatE6Listing(rows), rows)
 		if !*quick {
-			fmt.Print(experiments.FormatE6Listing(experiments.E6Listing(4, []int{16, 24, 32, 48}, *seed)))
-			fmt.Println()
+			rows = experiments.E6Listing(4, []int{16, 24, 32, 48}, *seed)
+			show("E6", "K4 listing", experiments.FormatE6Listing(rows), rows)
 		}
 	}
 	if want("E7") {
@@ -112,11 +146,11 @@ func main() {
 		if *quick {
 			ns = []int{3, 4}
 		}
-		fmt.Print(experiments.FormatE7(experiments.E7Separation(2, ns, *seed)))
-		fmt.Println()
+		rows := experiments.E7Separation(2, ns, *seed)
+		show("E7", "broadcast/unicast separation k=2", experiments.FormatE7(rows), rows)
 		if !*quick {
-			fmt.Print(experiments.FormatE7(experiments.E7Separation(3, []int{3, 5}, *seed)))
-			fmt.Println()
+			rows = experiments.E7Separation(3, []int{3, 5}, *seed)
+			show("E7", "broadcast/unicast separation k=3", experiments.FormatE7(rows), rows)
 		}
 	}
 	if want("E8") {
@@ -126,9 +160,9 @@ func main() {
 			drops = []float64{0, 0.2, 0.5}
 			n, trials = 60, 8
 		}
-		fmt.Print(experiments.FormatE8(fmt.Sprintf("C_4 color-BFS (n=%d, planted coloring)", n),
-			experiments.E8EvenCycleDropSweep(2, n, drops, trials, *seed)))
-		fmt.Println()
+		title := fmt.Sprintf("C_4 color-BFS (n=%d, planted coloring)", n)
+		rows := experiments.E8EvenCycleDropSweep(2, n, drops, trials, *seed)
+		show("E8", title, experiments.FormatE8(title, rows), rows)
 		tn := 40
 		if *quick {
 			tn = 24
@@ -136,8 +170,26 @@ func main() {
 		// Sparse background (p = 1/n) so the planted triangle is usually
 		// the only one: the 6-fold per-triangle announcement redundancy is
 		// then the only thing standing between the detector and a miss.
-		fmt.Print(experiments.FormatE8(fmt.Sprintf("triangle neighbor-exchange (n=%d, p=1/n)", tn),
-			experiments.E8TriangleDropSweep(tn, 1.0/float64(tn), drops, trials, *seed)))
-		fmt.Println()
+		title = fmt.Sprintf("triangle neighbor-exchange (n=%d, p=1/n)", tn)
+		rows = experiments.E8TriangleDropSweep(tn, 1.0/float64(tn), drops, trials, *seed)
+		show("E8", title, experiments.FormatE8(title, rows), rows)
 	}
+
+	if suite != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		werr := suite.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d tables)\n", *jsonPath, len(suite.Tables))
+	}
+	return 0
 }

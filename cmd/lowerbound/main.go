@@ -8,6 +8,10 @@
 //	lowerbound -construction bipartite -k 2 -n 4
 //	lowerbound -construction template -n 8
 //	lowerbound -construction gkn -k 2 -n 4 -edges   # dump the edge list
+//
+// The -cpuprofile / -memprofile / -trace / -pprof flags profile a
+// construction build (useful at large n; see the README's Observability
+// section).
 package main
 
 import (
@@ -20,9 +24,16 @@ import (
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
 	"subgraph/internal/lower"
+	"subgraph/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning (instead of os.Exit-ing) lets the
+// deferred profile finalizers flush before the process exits.
+func run() int {
 	var (
 		construction = flag.String("construction", "hk", "hk | gkn | bipartite | template")
 		k            = flag.Int("k", 2, "triangle count parameter of H_k")
@@ -31,7 +42,19 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		edges        = flag.Bool("edges", false, "dump the edge list")
 	)
+	var profiles obs.Profiles
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 	rng := rand.New(rand.NewSource(*seed))
 
 	switch *construction {
@@ -70,8 +93,9 @@ func main() {
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown construction %q\n", *construction)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func net(g *graph.Graph) *congest.Network { return congest.NewNetwork(g) }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"subgraph/internal/obs"
 )
 
 // Config controls a simulation run.
@@ -48,9 +50,27 @@ type Config struct {
 	// Run returns the partial Result plus an error wrapping the context's
 	// cause. Nil means no cancellation.
 	Context context.Context
+
+	// Tracer, when non-nil, receives streaming run events: round
+	// begin/end with per-round bits/messages/timings, every message with
+	// its fault annotation, crash-stop fault events, node reject/halt
+	// transitions, engine phase timings, and a final summary. All hooks
+	// fire on the runner's orchestrating goroutine in deterministic
+	// order. A nil Tracer adds zero allocations to the hot loop (see
+	// trace.go and the alloc-guard test); unlike RecordTranscript, a
+	// streaming Tracer sink observes every message without buffering the
+	// run in memory.
+	Tracer obs.Tracer
 }
 
 // Stats aggregates communication measurements of a run.
+//
+// Partial-run invariant: on a deadline-expired or context-canceled run
+// the returned Stats cover exactly the rounds that fully executed —
+// len(PerRoundBits) == Rounds with no trailing entries for the aborted
+// round (aborts happen only between rounds, never mid-round), and both
+// PerRoundBits and PerNodeBits sum to TotalBits. The consistency test in
+// stats_test.go pins this on both engines.
 type Stats struct {
 	// Rounds is the number of rounds executed.
 	Rounds int
@@ -154,6 +174,13 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	}
 
 	n := nw.N()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := newRunTrace(cfg.Tracer, n)
+	rt.onRunStart(nw, cfg, workers)
+
 	envs := make([]*Env, n)
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
@@ -186,6 +213,7 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 			return nil, envs[v].err
 		}
 	}
+	rt.onSetupDone()
 
 	stats := Stats{PerNodeBits: make([]int64, n)}
 	var transcript *Transcript
@@ -209,54 +237,44 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	}
 	touched := make([]int32, 0, 64)
 
-	finish := func() *Result {
-		res := &Result{
-			Decisions:  make([]Decision, n),
-			Stats:      stats,
-			Transcript: transcript,
-		}
-		for v := 0; v < n; v++ {
-			res.Decisions[v] = envs[v].decision
-		}
-		return res
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		// Graceful abort paths: the partial Result is still returned.
 		if cfg.Context != nil {
 			select {
 			case <-cfg.Context.Done():
-				return finish(), fmt.Errorf("congest: run canceled after %d rounds: %w",
+				err := fmt.Errorf("congest: run canceled after %d rounds: %w",
 					stats.Rounds, context.Cause(cfg.Context))
+				return finishRun(envs, stats, transcript, rt, "aborted", err.Error()), err
 			default:
 			}
 		}
 		if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
-			return finish(), fmt.Errorf("congest: deadline %v exceeded after %d rounds: %w",
+			err := fmt.Errorf("congest: deadline %v exceeded after %d rounds: %w",
 				cfg.Deadline, stats.Rounds, context.DeadlineExceeded)
+			return finishRun(envs, stats, transcript, rt, "aborted", err.Error()), err
 		}
 
 		// Apply crash-stop failures (sequentially, for determinism) and
-		// check for global halt.
-		allHalted := true
+		// count the still-active nodes. Crash fault events may precede the
+		// round's RoundStart in the trace: a round in which every node is
+		// halted or crashed never starts (the run ends here), and the
+		// events carry their round number either way.
+		active := 0
 		for v := 0; v < n; v++ {
 			env := envs[v]
 			if adv != nil && !env.crashed && adv.Crashed(round, v) {
 				env.crashed = true
 				stats.CrashedNodes++
+				rt.onCrash(round, v, env.id)
 			}
 			if !env.halted && !env.crashed {
-				allHalted = false
+				active++
 			}
 		}
-		if allHalted {
+		if active == 0 {
 			break
 		}
+		rt.onRoundStart(round, stats.TotalMessages, stats.DroppedMessages, stats.CorruptedMessages)
 
 		step := func(v int) {
 			env := envs[v]
@@ -270,6 +288,8 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 		if cfg.Parallel && n > 1 {
 			var wg sync.WaitGroup
 			chunk := (n + workers - 1) / workers
+			slots := rt.workerSlots(workers)
+			launched := 0
 			for w := 0; w < workers; w++ {
 				lo, hi := w*chunk, (w+1)*chunk
 				if lo >= n {
@@ -279,18 +299,25 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 					hi = n
 				}
 				wg.Add(1)
-				go func(lo, hi int) {
+				launched++
+				go func(w, lo, hi int) {
 					defer wg.Done()
+					if slots != nil {
+						t0 := time.Now()
+						defer func() { slots[w] = time.Since(t0).Nanoseconds() }()
+					}
 					for v := lo; v < hi; v++ {
 						step(v)
 					}
-				}(lo, hi)
+				}(w, lo, hi)
 			}
 			wg.Wait()
+			rt.onComputeEnd(launched)
 		} else {
 			for v := 0; v < n; v++ {
 				step(v)
 			}
+			rt.onComputeEnd(0)
 		}
 		stats.Rounds = round
 
@@ -346,8 +373,12 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 					lm.Fault = tag
 					roundLog = append(roundLog, lm)
 				}
+				if rt != nil {
+					rt.onMessage(round, v, m.toV, env.id, m.msg.To, bits, payload, tag, flipped)
+				}
 			}
 			env.out = env.out[:0]
+			rt.onNodeScan(round, v, env)
 		}
 		for _, e := range touched {
 			edgeSent[e] = 0
@@ -367,9 +398,11 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
 		}
 		inboxes = next
+		rt.onRoundEnd(round, stats.PerRoundBits[round-1],
+			stats.TotalMessages, stats.DroppedMessages, stats.CorruptedMessages, active)
 	}
 
-	return finish(), nil
+	return finishRun(envs, stats, transcript, rt, "completed", ""), nil
 }
 
 // callNode invokes Init (init=true) or Round with panic containment: a
@@ -421,4 +454,20 @@ func (s *idVertexSort) Less(i, j int) bool {
 func (s *idVertexSort) Swap(i, j int) {
 	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
 	s.vs[i], s.vs[j] = s.vs[j], s.vs[i]
+}
+
+// finishRun assembles the (possibly partial) Result of a run and closes
+// the trace stream; outcome is "completed" or "aborted" with the abort
+// reason in errMsg.
+func finishRun(envs []*Env, stats Stats, transcript *Transcript, rt *runTrace, outcome, errMsg string) *Result {
+	res := &Result{
+		Decisions:  make([]Decision, len(envs)),
+		Stats:      stats,
+		Transcript: transcript,
+	}
+	for v, env := range envs {
+		res.Decisions[v] = env.decision
+	}
+	rt.onRunEnd(res, outcome, errMsg)
+	return res
 }

@@ -1,0 +1,67 @@
+package congest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the stats as a compact one-line summary.
+func (s Stats) String() string {
+	line := fmt.Sprintf("rounds=%d bits=%d msgs=%d maxedge=%d",
+		s.Rounds, s.TotalBits, s.TotalMessages, s.MaxEdgeBitsRound)
+	if s.DroppedMessages > 0 || s.CorruptedMessages > 0 || s.CrashedNodes > 0 {
+		line += fmt.Sprintf(" dropped=%d corrupted=%d crashed=%d",
+			s.DroppedMessages, s.CorruptedMessages, s.CrashedNodes)
+	}
+	return line
+}
+
+// Summary renders a multi-line human-readable report of the run's
+// communication measurements: totals, the peak single-edge load, the
+// busiest round and sender, and — when the adversary acted — the fault
+// tallies. Lines are "name : value" aligned to match the CLI output style.
+func (s Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds   : %d\n", s.Rounds)
+	fmt.Fprintf(&b, "traffic  : %d bits in %d messages", s.TotalBits, s.TotalMessages)
+	if s.Rounds > 0 {
+		fmt.Fprintf(&b, " (%.1f bits/round)", float64(s.TotalBits)/float64(s.Rounds))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "edge load: max %d bits on one directed edge in a round\n", s.MaxEdgeBitsRound)
+	if r, bits := s.peakRound(); r > 0 {
+		fmt.Fprintf(&b, "peak     : round %d with %d bits", r, bits)
+		if v, nb := s.peakNode(); v >= 0 {
+			fmt.Fprintf(&b, "; busiest sender vertex %d with %d bits total", v, nb)
+		}
+		b.WriteByte('\n')
+	}
+	if s.DroppedMessages > 0 || s.CorruptedMessages > 0 || s.CrashedNodes > 0 {
+		fmt.Fprintf(&b, "faults   : %d dropped, %d corrupted (%d bits flipped), %d crashed\n",
+			s.DroppedMessages, s.CorruptedMessages, s.CorruptedBits, s.CrashedNodes)
+	}
+	return b.String()
+}
+
+// peakRound returns the 1-based round carrying the most bits (ties to the
+// earliest), or (0, 0) when no rounds ran.
+func (s Stats) peakRound() (round int, bits int64) {
+	for i, b := range s.PerRoundBits {
+		if round == 0 || b > bits {
+			round, bits = i+1, b
+		}
+	}
+	return round, bits
+}
+
+// peakNode returns the vertex that sent the most bits (ties to the lowest
+// index), or (-1, 0) when the per-node slice is empty.
+func (s Stats) peakNode() (vertex int, bits int64) {
+	vertex = -1
+	for v, b := range s.PerNodeBits {
+		if vertex < 0 || b > bits {
+			vertex, bits = v, b
+		}
+	}
+	return vertex, bits
+}

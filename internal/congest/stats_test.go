@@ -1,0 +1,152 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+func TestStatsStringAndSummary(t *testing.T) {
+	s := Stats{
+		Rounds:           4,
+		TotalBits:        120,
+		TotalMessages:    12,
+		MaxEdgeBitsRound: 16,
+		PerRoundBits:     []int64{10, 50, 40, 20},
+		PerNodeBits:      []int64{30, 90},
+	}
+	str := s.String()
+	for _, want := range []string{"rounds=4", "bits=120", "msgs=12", "maxedge=16"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	if strings.Contains(str, "dropped") {
+		t.Errorf("String() = %q, unexpected fault tally on a clean run", str)
+	}
+
+	sum := s.Summary()
+	for _, want := range []string{
+		"rounds   : 4",
+		"120 bits in 12 messages",
+		"30.0 bits/round",
+		"max 16 bits",
+		"round 2 with 50 bits",
+		"vertex 1 with 90 bits",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary() missing %q in:\n%s", want, sum)
+		}
+	}
+	if strings.Contains(sum, "faults") {
+		t.Errorf("Summary() reports faults on a clean run:\n%s", sum)
+	}
+
+	s.DroppedMessages, s.CorruptedMessages, s.CorruptedBits, s.CrashedNodes = 3, 2, 7, 1
+	sum = s.Summary()
+	if !strings.Contains(sum, "3 dropped, 2 corrupted (7 bits flipped), 1 crashed") {
+		t.Errorf("Summary() fault line wrong:\n%s", sum)
+	}
+	if !strings.Contains(s.String(), "dropped=3 corrupted=2 crashed=1") {
+		t.Errorf("String() fault tally wrong: %q", s.String())
+	}
+}
+
+// checkPartialConsistency asserts the documented partial-run invariant:
+// the slices cover exactly the executed rounds and agree with the totals.
+func checkPartialConsistency(t *testing.T, s Stats) {
+	t.Helper()
+	if len(s.PerRoundBits) != s.Rounds {
+		t.Fatalf("len(PerRoundBits) = %d, want Rounds = %d", len(s.PerRoundBits), s.Rounds)
+	}
+	var roundSum, nodeSum int64
+	for _, b := range s.PerRoundBits {
+		roundSum += b
+	}
+	for _, b := range s.PerNodeBits {
+		nodeSum += b
+	}
+	if roundSum != s.TotalBits {
+		t.Errorf("sum(PerRoundBits) = %d, want TotalBits = %d", roundSum, s.TotalBits)
+	}
+	if nodeSum != s.TotalBits {
+		t.Errorf("sum(PerNodeBits) = %d, want TotalBits = %d", nodeSum, s.TotalBits)
+	}
+}
+
+// TestPartialStatsContextAbort cancels the run from inside a node at a
+// fixed round (deterministic on both engines: cancellation is only
+// observed between rounds) and checks the partial Stats invariant.
+func TestPartialStatsContextAbort(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := graph.GNP(24, 0.3, rand.New(rand.NewSource(7)))
+		nw := NewNetwork(g)
+		ctx, cancel := context.WithCancel(context.Background())
+		const stopRound = 5
+		var canceled atomic.Bool
+		factory := func() Node {
+			return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+				if env.Round() == stopRound && canceled.CompareAndSwap(false, true) {
+					cancel()
+				}
+				env.Broadcast(bitio.Uint(uint64(env.Round()), 8))
+			}}
+		}
+		res, err := Run(nw, factory, Config{
+			B: 8, MaxRounds: 100, Seed: 1, Parallel: parallel, Context: ctx,
+		})
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%v: want context.Canceled, got %v", parallel, err)
+		}
+		if res == nil {
+			t.Fatalf("parallel=%v: want partial result on cancellation", parallel)
+		}
+		if res.Stats.Rounds != stopRound {
+			t.Fatalf("parallel=%v: Rounds = %d, want %d", parallel, res.Stats.Rounds, stopRound)
+		}
+		checkPartialConsistency(t, res.Stats)
+		// Every executed round carried traffic (all nodes broadcast every
+		// round), so a trailing zero entry would betray a phantom round.
+		for r, b := range res.Stats.PerRoundBits {
+			if b == 0 {
+				t.Errorf("parallel=%v: PerRoundBits[%d] = 0 on an all-broadcast run", parallel, r)
+			}
+		}
+		cancel()
+	}
+}
+
+// TestPartialStatsDeadlineAbort uses an already-expired deadline: the run
+// aborts at the first between-rounds check, before any round executes.
+func TestPartialStatsDeadlineAbort(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := graph.Cycle(8)
+		nw := NewNetwork(g)
+		factory := func() Node {
+			return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+				env.Broadcast(bitio.Uint(1, 4))
+			}}
+		}
+		res, err := Run(nw, factory, Config{
+			B: 4, MaxRounds: 50, Seed: 1, Parallel: parallel, Deadline: time.Nanosecond,
+		})
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("parallel=%v: want DeadlineExceeded, got %v", parallel, err)
+		}
+		if res == nil {
+			t.Fatalf("parallel=%v: want partial result on deadline", parallel)
+		}
+		if res.Stats.Rounds != 0 || len(res.Stats.PerRoundBits) != 0 {
+			t.Fatalf("parallel=%v: Rounds=%d len(PerRoundBits)=%d, want 0/0",
+				parallel, res.Stats.Rounds, len(res.Stats.PerRoundBits))
+		}
+		checkPartialConsistency(t, res.Stats)
+	}
+}

@@ -1,0 +1,245 @@
+package congest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+	"subgraph/internal/obs"
+)
+
+// TestDisabledTraceHooksAllocFree pins the zero-overhead contract of the
+// disabled instrumentation path: every runTrace hook on a nil receiver
+// must return without allocating, so Config.Tracer == nil costs the hot
+// loop nothing but a predictable branch per call site.
+func TestDisabledTraceHooksAllocFree(t *testing.T) {
+	var rt *runTrace
+	if got := newRunTrace(nil, 8); got != nil {
+		t.Fatal("newRunTrace(nil, n) must return nil")
+	}
+	nw := NewNetwork(graph.Cycle(4))
+	cfg := Config{B: 8, MaxRounds: 10}
+	env := &Env{}
+	res := &Result{}
+	payload := bitio.Uint(5, 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		rt.onRunStart(nw, cfg, 4)
+		rt.onSetupDone()
+		rt.onRoundStart(1, 0, 0, 0)
+		if rt.workerSlots(4) != nil {
+			t.Fatal("nil runTrace must hand the engine nil worker slots")
+		}
+		rt.onComputeEnd(0)
+		rt.onCrash(1, 0, 1)
+		rt.onMessage(1, 0, 1, 1, 2, 8, payload, FaultNone, 0)
+		rt.onNodeScan(1, 0, env)
+		rt.onRoundEnd(1, 0, 0, 0, 0, 4)
+		rt.onRunEnd(res, "completed", "")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace hooks allocated %.1f times per round; want 0", allocs)
+	}
+}
+
+// TestCollectorReportMatchesStats is the instrumentation acceptance test:
+// the Collector rebuilds the run's aggregate counters from per-round and
+// per-event hooks alone, and they must agree exactly with the Stats the
+// runner returns — on both engines, with and without an adversary.
+func TestCollectorReportMatchesStats(t *testing.T) {
+	g := graph.GNP(48, 0.15, rand.New(rand.NewSource(3)))
+	plans := map[string]*FaultPlan{
+		"clean":  nil,
+		"faulty": {Seed: 11, DropRate: 0.1, CorruptRate: 0.05, Crashes: []Crash{{Vertex: 2, Round: 3}, {Vertex: 7, Round: 5}}},
+	}
+	for name, plan := range plans {
+		for _, parallel := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/parallel=%v", name, parallel), func(t *testing.T) {
+				c := obs.NewCollector()
+				nw := NewNetwork(g)
+				res, err := Run(nw, func() Node { return &randomTrafficNode{} }, Config{
+					B: 96, MaxRounds: 25, Seed: 9, Parallel: parallel,
+					Faults: plan, Tracer: c,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := c.Report()
+				counters := rep.Metrics.Counters
+				wantCounters := map[string]int64{
+					obs.MetricRuns:          1,
+					obs.MetricRounds:        int64(res.Stats.Rounds),
+					obs.MetricBits:          res.Stats.TotalBits,
+					obs.MetricMessages:      res.Stats.TotalMessages,
+					obs.MetricDropped:       res.Stats.DroppedMessages,
+					obs.MetricCorrupted:     res.Stats.CorruptedMessages,
+					obs.MetricCorruptedBits: res.Stats.CorruptedBits,
+					obs.MetricCrashes:       int64(res.Stats.CrashedNodes),
+				}
+				for metric, want := range wantCounters {
+					if counters[metric] != want {
+						t.Errorf("counter %s = %d, want %d (Stats)", metric, counters[metric], want)
+					}
+				}
+				if got := rep.Metrics.Gauges[obs.GaugeMaxEdgeBits]; got != float64(res.Stats.MaxEdgeBitsRound) {
+					t.Errorf("gauge %s = %v, want %d", obs.GaugeMaxEdgeBits, got, res.Stats.MaxEdgeBitsRound)
+				}
+				if len(rep.Rounds) != res.Stats.Rounds {
+					t.Fatalf("round series has %d entries, want %d", len(rep.Rounds), res.Stats.Rounds)
+				}
+				var seriesBits int64
+				for i, rs := range rep.Rounds {
+					if rs.Round != i+1 {
+						t.Fatalf("rounds[%d].Round = %d, want %d", i, rs.Round, i+1)
+					}
+					if rs.Bits != res.Stats.PerRoundBits[i] {
+						t.Errorf("rounds[%d].Bits = %d, want %d", i, rs.Bits, res.Stats.PerRoundBits[i])
+					}
+					seriesBits += rs.Bits
+				}
+				if seriesBits != res.Stats.TotalBits {
+					t.Errorf("round series sums to %d bits, want %d", seriesBits, res.Stats.TotalBits)
+				}
+				rejects := int64(0)
+				for _, d := range res.Decisions {
+					if d == Reject {
+						rejects++
+					}
+				}
+				if int64(rep.Summary.Rejects) != rejects {
+					t.Errorf("summary rejects = %d, want %d", rep.Summary.Rejects, rejects)
+				}
+				if rep.Summary.Outcome != "completed" {
+					t.Errorf("summary outcome = %q, want completed", rep.Summary.Outcome)
+				}
+				if plan == nil && counters[obs.MetricRejects] != rejects {
+					t.Errorf("counter %s = %d, want %d", obs.MetricRejects, counters[obs.MetricRejects], rejects)
+				}
+				if rep.Info.Nodes != nw.N() || rep.Info.Edges != nw.G.M() {
+					t.Errorf("info records %d nodes / %d edges, want %d / %d",
+						rep.Info.Nodes, rep.Info.Edges, nw.N(), nw.G.M())
+				}
+			})
+		}
+	}
+}
+
+// TestJSONLTraceWellFormed checks the streaming sink end to end: every
+// emitted line is a standalone JSON object, the stream is bracketed by
+// run_start / run_end, and per-round events appear for every round.
+func TestJSONLTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	nw := NewNetwork(graph.GNP(24, 0.2, rand.New(rand.NewSource(5))))
+	res, err := Run(nw, func() Node { return &randomTrafficNode{} },
+		Config{B: 96, MaxRounds: 15, Seed: 2, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rounds := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON line: %s", line)
+		}
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Ev == "" {
+			t.Fatalf("line without event kind: %s", line)
+		}
+		if ev.Ev == "round_end" {
+			rounds++
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("trace has only %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"ev":"run_start"`) {
+		t.Errorf("first event %s, want run_start", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"ev":"run_end"`) {
+		t.Errorf("last event %s, want run_end", lines[len(lines)-1])
+	}
+	if rounds != res.Stats.Rounds {
+		t.Errorf("trace has %d round_end events, want %d", rounds, res.Stats.Rounds)
+	}
+}
+
+// TestEngineTraceEquivalence pins that, timings aside, both engines emit
+// the identical event stream: with OmitTimings the traces may differ only
+// in the run_start line (engine name and worker count).
+func TestEngineTraceEquivalence(t *testing.T) {
+	g := graph.GNP(32, 0.2, rand.New(rand.NewSource(8)))
+	trace := func(parallel bool) []string {
+		var buf bytes.Buffer
+		tr := obs.NewJSONLTracerOptions(&buf, obs.JSONLOptions{OmitTimings: true})
+		nw := NewNetwork(g)
+		if _, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 96, MaxRounds: 20, Seed: 4, Parallel: parallel, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	}
+	seq, par := trace(false), trace(true)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential trace has %d events, parallel %d", len(seq), len(par))
+	}
+	for i := 1; i < len(seq); i++ { // skip run_start: engine/workers differ
+		if seq[i] != par[i] {
+			t.Fatalf("traces diverge at event %d:\n  seq: %s\n  par: %s", i, seq[i], par[i])
+		}
+	}
+}
+
+// benchmarkTracerOverhead runs the engine-equivalence workload with a
+// given tracer; compare Benchmark{Sequential,Parallel}NoTracer against
+// the JSONL variants to measure instrumentation overhead. The NoTracer
+// benchmarks are the baseline the <2%-overhead acceptance criterion is
+// judged against.
+func benchmarkTracerOverhead(b *testing.B, parallel bool, mk func() obs.Tracer) {
+	g := graph.GNP(64, 0.2, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g)
+		var tr obs.Tracer
+		if mk != nil {
+			tr = mk()
+		}
+		if _, err := Run(nw, func() Node { return &randomTrafficNode{} },
+			Config{B: 96, MaxRounds: 30, Seed: int64(i), Parallel: parallel, Tracer: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialNoTracer(b *testing.B) { benchmarkTracerOverhead(b, false, nil) }
+func BenchmarkParallelNoTracer(b *testing.B)   { benchmarkTracerOverhead(b, true, nil) }
+func BenchmarkSequentialJSONL(b *testing.B) {
+	benchmarkTracerOverhead(b, false, func() obs.Tracer { return obs.NewJSONLTracer(io.Discard) })
+}
+func BenchmarkParallelJSONL(b *testing.B) {
+	benchmarkTracerOverhead(b, true, func() obs.Tracer { return obs.NewJSONLTracer(io.Discard) })
+}
+func BenchmarkSequentialCollector(b *testing.B) {
+	benchmarkTracerOverhead(b, false, func() obs.Tracer { return obs.NewCollector() })
+}

@@ -7,6 +7,7 @@ import (
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
+	"subgraph/internal/obs"
 )
 
 // K_s detection in O(n) rounds (the [10] upper bound the paper cites):
@@ -26,6 +27,10 @@ type CliqueConfig struct {
 	// Deadline aborts the run after a wall-clock budget (0 = none); on
 	// expiry the partial report is returned alongside the error.
 	Deadline time.Duration
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // CliqueReport is the outcome of the clique detector.
@@ -105,7 +110,7 @@ func DetectClique(nw *congest.Network, cfg CliqueConfig) (*CliqueReport, error) 
 		MaxRounds: nw.N() + 3,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, nil)
+	}, cfg.Faults, cfg.Deadline, nil, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

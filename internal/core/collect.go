@@ -8,6 +8,7 @@ import (
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
+	"subgraph/internal/obs"
 )
 
 // Generic H-detection by edge collection: every node gossips the edges it
@@ -42,6 +43,10 @@ type CollectConfig struct {
 	// Deadline aborts the run after a wall-clock budget (0 = none); on
 	// expiry the partial report is returned alongside the error.
 	Deadline time.Duration
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // CollectReport is the outcome of the edge-collection detector.
@@ -167,7 +172,7 @@ func DetectCollect(nw *congest.Network, cfg CollectConfig) (*CollectReport, erro
 		MaxRounds: budget + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, nil)
+	}, cfg.Faults, cfg.Deadline, nil, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
+	"subgraph/internal/obs"
 )
 
 // Color-coded BFS (Alon–Yuster–Zwick color coding adapted to CONGEST,
@@ -152,6 +153,10 @@ type LinearCycleConfig struct {
 	// (congest.WrapResilient), trading rounds and bandwidth for
 	// tolerance to message loss. Incompatible with BroadcastOnly.
 	Resilient *congest.ResilientConfig
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // LinearCycleReport is the outcome of the baseline detector.
@@ -225,7 +230,7 @@ func DetectCycleLinear(nw *congest.Network, cfg LinearCycleConfig) (*LinearCycle
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
 		Broadcast: cfg.BroadcastOnly,
-	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
+	"subgraph/internal/obs"
 )
 
 // DetectEvenCycle implements Theorem 1.1 / Section 6: C_2k-detection in
@@ -68,6 +69,10 @@ type EvenCycleConfig struct {
 	// (congest.WrapResilient), trading rounds and bandwidth for
 	// tolerance to message loss. Incompatible with BroadcastOnly.
 	Resilient *congest.ResilientConfig
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // EvenCycleReport is the outcome of the detector.
@@ -490,7 +495,7 @@ func DetectEvenCycle(nw *congest.Network, cfg EvenCycleConfig) (*EvenCycleReport
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
 		Broadcast: cfg.BroadcastOnly,
-	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
+	"subgraph/internal/obs"
 )
 
 // LOCAL-model H-detection (the Section 1 observation that subgraph
@@ -28,6 +29,10 @@ type LocalConfig struct {
 	// Deadline aborts the run after a wall-clock budget (0 = none); on
 	// expiry the partial report is returned alongside the error.
 	Deadline time.Duration
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // LocalReport is the outcome of the LOCAL detector.
@@ -108,7 +113,7 @@ func DetectLocal(nw *congest.Network, cfg LocalConfig) (*LocalReport, error) {
 		MaxRounds: radius + 2,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, nil)
+	}, cfg.Faults, cfg.Deadline, nil, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -4,17 +4,21 @@ import (
 	"time"
 
 	"subgraph/internal/congest"
+	"subgraph/internal/obs"
 )
 
-// runRobust applies the robustness knobs shared by every detector config —
-// fault plan, wall-clock deadline, optional ack/retransmit decorator — to
-// a simulator invocation and executes it. On a deadline or cancellation
-// abort the partial Result is returned alongside the error, so callers
-// surface a partial report instead of nothing.
+// runRobust applies the cross-cutting knobs shared by every detector
+// config — fault plan, wall-clock deadline, optional ack/retransmit
+// decorator, and observability tracer — to a simulator invocation and
+// executes it. On a deadline or cancellation abort the partial Result is
+// returned alongside the error, so callers surface a partial report
+// instead of nothing.
 func runRobust(nw *congest.Network, factory func() congest.Node, ccfg congest.Config,
-	faults *congest.FaultPlan, deadline time.Duration, resilient *congest.ResilientConfig) (*congest.Result, error) {
+	faults *congest.FaultPlan, deadline time.Duration, resilient *congest.ResilientConfig,
+	tracer obs.Tracer) (*congest.Result, error) {
 	ccfg.Faults = faults
 	ccfg.Deadline = deadline
+	ccfg.Tracer = tracer
 	if resilient != nil {
 		var err error
 		factory, ccfg, err = congest.WrapResilient(factory, ccfg, *resilient)

@@ -7,6 +7,7 @@ import (
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
+	"subgraph/internal/obs"
 )
 
 // Tree detection by color-coding dynamic programming (the constant-round
@@ -34,6 +35,10 @@ type TreeConfig struct {
 	// Deadline aborts the run after a wall-clock budget (0 = none); on
 	// expiry the partial report is returned alongside the error.
 	Deadline time.Duration
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // TreeReport is the outcome of the tree detector.
@@ -202,7 +207,7 @@ func DetectTree(nw *congest.Network, cfg TreeConfig) (*TreeReport, error) {
 		MaxRounds: plan.perRep*cfg.Reps + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, nil)
+	}, cfg.Faults, cfg.Deadline, nil, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
+	"subgraph/internal/obs"
 )
 
 // Triangle detection by neighbor-list exchange in O(Δ) rounds at
@@ -31,6 +32,10 @@ type TriangleConfig struct {
 	// (congest.WrapResilient), trading rounds and bandwidth for
 	// tolerance to message loss.
 	Resilient *congest.ResilientConfig
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // TriangleReport is the outcome of the triangle detector.
@@ -86,7 +91,7 @@ func DetectTriangle(nw *congest.Network, cfg TriangleConfig) (*TriangleReport, e
 		MaxRounds: nw.G.MaxDegree() + 3,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, cfg.Resilient)
+	}, cfg.Faults, cfg.Deadline, cfg.Resilient, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

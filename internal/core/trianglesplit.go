@@ -6,6 +6,7 @@ import (
 
 	"subgraph/internal/bitio"
 	"subgraph/internal/congest"
+	"subgraph/internal/obs"
 )
 
 // Degree-split triangle detection in O(√m) rounds — the classic
@@ -43,6 +44,10 @@ type TriangleSplitConfig struct {
 	// Deadline aborts the run after a wall-clock budget (0 = none); on
 	// expiry the partial report is returned alongside the error.
 	Deadline time.Duration
+	// Tracer, when non-nil, streams run events (rounds, messages,
+	// faults, node transitions, timings) to the observability layer in
+	// internal/obs; nil disables instrumentation at zero cost.
+	Tracer obs.Tracer
 }
 
 // TriangleSplitReport is the outcome of the degree-split detector.
@@ -177,7 +182,7 @@ func DetectTriangleSplit(nw *congest.Network, cfg TriangleSplitConfig) (*Triangl
 		MaxRounds: endAt + 1,
 		Seed:      cfg.Seed,
 		Parallel:  cfg.Parallel,
-	}, cfg.Faults, cfg.Deadline, nil)
+	}, cfg.Faults, cfg.Deadline, nil, cfg.Tracer)
 	if res == nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SuiteEntry is one table of an experiments run in machine-readable form:
+// the experiment it belongs to, a human title, and the raw row structs
+// that the Format* functions render as text.
+type SuiteEntry struct {
+	// Experiment is the experiment ID, "E1" .. "E8".
+	Experiment string `json:"experiment"`
+	// Title describes the table (mirrors the text table heading).
+	Title string `json:"title"`
+	// Rows is the slice of row structs produced by the experiment
+	// function (E1Row, E2Row, ...); each marshals field-per-column.
+	Rows any `json:"rows"`
+}
+
+// Suite accumulates the tables of an experiments run for JSON export,
+// so a sweep can be post-processed (plots, regression diffs) without
+// re-parsing the text output.
+type Suite struct {
+	// Seed is the random seed the sweep ran with.
+	Seed int64 `json:"seed"`
+	// Quick records whether the smoke-scale sizes were used.
+	Quick bool `json:"quick"`
+	// Tables holds one entry per emitted table, in run order.
+	Tables []SuiteEntry `json:"tables"`
+}
+
+// NewSuite returns an empty suite for a run with the given parameters.
+func NewSuite(seed int64, quick bool) *Suite {
+	return &Suite{Seed: seed, Quick: quick}
+}
+
+// Add appends a table to the suite. A nil suite ignores the call, so
+// callers can thread an optional suite without guarding every site.
+func (s *Suite) Add(experiment, title string, rows any) {
+	if s == nil {
+		return
+	}
+	s.Tables = append(s.Tables, SuiteEntry{Experiment: experiment, Title: title, Rows: rows})
+}
+
+// WriteJSON writes the suite as indented JSON.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

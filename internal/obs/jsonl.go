@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSONLOptions tunes the JSONL trace sink.
+type JSONLOptions struct {
+	// OmitTimings zeroes every wall-clock-derived field (compute/deliver
+	// durations, worker utilization, phase timings, total wall time)
+	// before encoding, making the trace byte-deterministic for a fixed
+	// seed — the mode the golden-file test pins.
+	OmitTimings bool
+	// OmitPayloads drops the rendered payload bits from message events,
+	// shrinking traces of bandwidth-heavy runs.
+	OmitPayloads bool
+}
+
+// JSONLTracer streams run events as JSON Lines: one event per line, each
+// an object whose "ev" field names the event kind (run_start, round_start,
+// message, fault, node, round_end, phase, run_end) followed by the fields
+// of the corresponding event struct. Unlike Config.RecordTranscript, which
+// buffers every message of the run in memory, the sink writes through a
+// buffered writer as events arrive, so arbitrarily long runs trace in
+// constant memory.
+//
+// The first write error latches: subsequent events are discarded and the
+// error is reported by Err, Flush, and Close.
+type JSONLTracer struct {
+	w   *bufio.Writer
+	opt JSONLOptions
+	err error
+}
+
+// NewJSONLTracer returns a sink writing to w with default options.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return NewJSONLTracerOptions(w, JSONLOptions{})
+}
+
+// NewJSONLTracerOptions returns a sink writing to w with explicit options.
+func NewJSONLTracerOptions(w io.Writer, opt JSONLOptions) *JSONLTracer {
+	return &JSONLTracer{w: bufio.NewWriterSize(w, 1<<16), opt: opt}
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *JSONLTracer) Err() error { return t.err }
+
+// Flush drains the internal buffer to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes the buffer and returns the first error seen. It does not
+// close the underlying writer (the caller owns the file handle).
+func (t *JSONLTracer) Close() error { return t.Flush() }
+
+// emit writes one `{"ev":"<kind>",<fields of v>}` line. v must marshal to
+// a JSON object; struct field order makes the line layout deterministic.
+func (t *JSONLTracer) emit(kind string, v any) {
+	if t.err != nil {
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.err = fmt.Errorf("obs: encoding %s event: %w", kind, err)
+		return
+	}
+	t.w.WriteString(`{"ev":"`)
+	t.w.WriteString(kind)
+	t.w.WriteByte('"')
+	if len(body) > 2 { // non-empty object: splice its fields in
+		t.w.WriteByte(',')
+		t.w.Write(body[1 : len(body)-1])
+	}
+	t.w.WriteByte('}')
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// RunStart implements Tracer.
+func (t *JSONLTracer) RunStart(info RunInfo) { t.emit("run_start", info) }
+
+// RoundStart implements Tracer.
+func (t *JSONLTracer) RoundStart(round int) {
+	t.emit("round_start", struct {
+		Round int `json:"round"`
+	}{round})
+}
+
+// Message implements Tracer.
+func (t *JSONLTracer) Message(ev MessageEvent) {
+	if t.opt.OmitPayloads {
+		ev.Payload = ""
+	}
+	t.emit("message", ev)
+}
+
+// Fault implements Tracer.
+func (t *JSONLTracer) Fault(ev FaultEvent) { t.emit("fault", ev) }
+
+// Node implements Tracer.
+func (t *JSONLTracer) Node(ev NodeEvent) { t.emit("node", ev) }
+
+// RoundEnd implements Tracer.
+func (t *JSONLTracer) RoundEnd(rs RoundStats) {
+	if t.opt.OmitTimings {
+		rs.ComputeNs, rs.DeliverNs, rs.WorkerUtilization = 0, 0, 0
+	}
+	t.emit("round_end", rs)
+}
+
+// Phase implements Tracer.
+func (t *JSONLTracer) Phase(name string, elapsed time.Duration) {
+	ns := elapsed.Nanoseconds()
+	if t.opt.OmitTimings {
+		ns = 0
+	}
+	t.emit("phase", struct {
+		Name      string `json:"name"`
+		ElapsedNs int64  `json:"elapsed_ns,omitempty"`
+	}{name, ns})
+}
+
+// RunEnd implements Tracer.
+func (t *JSONLTracer) RunEnd(sum RunSummary) {
+	if t.opt.OmitTimings {
+		sum.WallNs = 0
+	}
+	t.emit("run_end", sum)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a small process-local metrics registry: named counters,
+// gauges, and fixed-bucket histograms, snapshotted into a machine-readable
+// form for run reports. Metric handles are cheap to update (atomics; a
+// mutex only on histogram observes) and safe for concurrent use, so
+// workloads outside the single-goroutine tracer path can share one.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// upper-bound buckets on first use (later calls may pass nil buckets).
+// Bucket bounds must be sorted ascending; an implicit +Inf bucket is
+// always appended.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := make([]float64, len(buckets))
+		copy(bs, buckets)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable floating-point metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram (cumulative-style buckets are
+// materialized only in snapshots; internally each bucket counts its own
+// range, with a final overflow bucket).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// Observe records x into its bucket.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += x
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the JSON form of a histogram: parallel arrays of
+// bucket upper bounds and per-bucket counts, plus the overflow count.
+type HistogramSnapshot struct {
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	Overflow int64     `json:"overflow,omitempty"`
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts[:len(h.bounds)]...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+	s.Overflow = h.counts[len(h.bounds)]
+	return s
+}
+
+// RegistrySnapshot is a point-in-time copy of every metric in a registry,
+// in JSON-ready form.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies all current metric values.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RegistrySnapshot{Counters: make(map[string]int64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}

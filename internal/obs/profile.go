@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles is the shared profiling configuration of the CLI tools
+// (cmd/congestsim, cmd/experiments, cmd/lowerbound). Register the flags,
+// then bracket main's work with Start and the returned stop function.
+type Profiles struct {
+	// CPU, Mem, Trace are output paths for a CPU profile, a heap profile
+	// (written at stop), and a runtime/trace execution trace.
+	CPU, Mem, Trace string
+	// Pprof, when non-empty, serves net/http/pprof on this address
+	// (e.g. "localhost:6060") for live inspection of long runs.
+	Pprof string
+
+	cpuFile, traceFile *os.File
+}
+
+// RegisterFlags installs the -cpuprofile / -memprofile / -trace / -pprof
+// flags on fs.
+func (p *Profiles) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&p.Trace, "trace", "", "write a runtime/trace execution trace to this file")
+	fs.StringVar(&p.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start begins the configured profilers. The returned stop function ends
+// them and writes the heap profile; call it exactly once (typically via
+// defer) before the process exits, and check its error.
+func (p *Profiles) Start() (stop func() error, err error) {
+	if p.CPU != "" {
+		p.cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		p.traceFile, err = os.Create(p.Trace)
+		if err != nil {
+			p.stopStarted()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(p.traceFile); err != nil {
+			p.stopStarted()
+			p.traceFile.Close()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	if p.Pprof != "" {
+		go func() {
+			// Best-effort: a busy port only costs the live endpoint.
+			_ = http.ListenAndServe(p.Pprof, nil)
+		}()
+	}
+	return p.stop, nil
+}
+
+// stopStarted unwinds the CPU profiler during a failed Start.
+func (p *Profiles) stopStarted() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+func (p *Profiles) stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.traceFile = nil
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("obs: memprofile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -33,6 +33,7 @@ import (
 	"subgraph/internal/congest"
 	"subgraph/internal/core"
 	"subgraph/internal/graph"
+	"subgraph/internal/obs"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -61,6 +62,32 @@ type (
 	// ResilientConfig tunes the ack/retransmit decorator enabled by
 	// Options.Resilient.
 	ResilientConfig = congest.ResilientConfig
+	// Tracer receives streaming run events (rounds, messages, faults,
+	// node transitions, engine timings) from the simulator. Build one
+	// with NewJSONLTracer / NewCollector, or combine several with
+	// MultiTracer.
+	Tracer = obs.Tracer
+	// Collector is a Tracer aggregating events into metrics and a
+	// machine-readable RunReport.
+	Collector = obs.Collector
+	// RunReport is the machine-readable run report built by a Collector.
+	RunReport = obs.RunReport
+	// JSONLTracer is a Tracer streaming events as JSON Lines.
+	JSONLTracer = obs.JSONLTracer
+	// JSONLOptions tunes a JSONLTracer (timing/payload omission).
+	JSONLOptions = obs.JSONLOptions
+)
+
+// Observability constructors re-exported from internal/obs.
+var (
+	// NewJSONLTracer streams run events to w as JSON Lines.
+	NewJSONLTracer = obs.NewJSONLTracer
+	// NewJSONLTracerOptions is NewJSONLTracer with explicit options.
+	NewJSONLTracerOptions = obs.NewJSONLTracerOptions
+	// NewCollector aggregates run events into metrics and a RunReport.
+	NewCollector = obs.NewCollector
+	// MultiTracer fans events out to several tracers (nils skipped).
+	MultiTracer = obs.Multi
 )
 
 // NewGraphBuilder returns a builder for a graph on n vertices.
@@ -130,6 +157,11 @@ type Options struct {
 	// bandwidth overhead. Supported for triangle and cycle patterns; other
 	// patterns return an error.
 	Resilient bool
+	// Trace streams run events (rounds, messages, faults, node
+	// transitions, timings) to an observability sink — a JSONL trace
+	// file, a metrics Collector, or both via MultiTracer. Nil disables
+	// instrumentation at zero cost to the simulator hot loop.
+	Trace Tracer
 }
 
 // Report summarizes a detection run.
@@ -180,7 +212,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectTree(nw, core.TreeConfig{
 			Tree: h, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
-			Faults: opts.Faults, Deadline: opts.Deadline,
+			Faults: opts.Faults, Deadline: opts.Deadline, Tracer: opts.Trace,
 		})
 		if r == nil {
 			return nil, err
@@ -197,7 +229,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		if resilient != nil || float64(delta*delta) <= float64(2*nw.G.M()) {
 			r, err := core.DetectTriangle(nw, core.TriangleConfig{
 				Seed: opts.Seed, Parallel: opts.Parallel,
-				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
+				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient, Tracer: opts.Trace,
 			})
 			if r == nil {
 				return nil, err
@@ -207,7 +239,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectTriangleSplit(nw, core.TriangleSplitConfig{
 			Seed: opts.Seed, Parallel: opts.Parallel,
-			Faults: opts.Faults, Deadline: opts.Deadline,
+			Faults: opts.Faults, Deadline: opts.Deadline, Tracer: opts.Trace,
 		})
 		if r == nil {
 			return nil, err
@@ -225,7 +257,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 			r, err := core.DetectEvenCycle(nw, core.EvenCycleConfig{
 				K: L / 2, PhaseIReps: reps, PhaseIIReps: reps,
 				Seed: opts.Seed, Parallel: opts.Parallel,
-				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
+				Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient, Tracer: opts.Trace,
 			})
 			if r == nil {
 				return nil, err
@@ -239,7 +271,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectCycleLinear(nw, core.LinearCycleConfig{
 			CycleLen: L, Reps: reps, Seed: opts.Seed, Parallel: opts.Parallel,
-			Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient,
+			Faults: opts.Faults, Deadline: opts.Deadline, Resilient: resilient, Tracer: opts.Trace,
 		})
 		if r == nil {
 			return nil, err
@@ -253,7 +285,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectClique(nw, core.CliqueConfig{
 			S: h.N(), Seed: opts.Seed, Parallel: opts.Parallel,
-			Faults: opts.Faults, Deadline: opts.Deadline,
+			Faults: opts.Faults, Deadline: opts.Deadline, Tracer: opts.Trace,
 		})
 		if r == nil {
 			return nil, err
@@ -267,7 +299,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 		}
 		r, err := core.DetectCollect(nw, core.CollectConfig{
 			H: h, Seed: opts.Seed, Parallel: opts.Parallel,
-			Faults: opts.Faults, Deadline: opts.Deadline,
+			Faults: opts.Faults, Deadline: opts.Deadline, Tracer: opts.Trace,
 		})
 		if r == nil {
 			return nil, err
@@ -282,7 +314,7 @@ func Detect(nw *Network, h *Graph, opts Options) (*Report, error) {
 func DetectLocal(nw *Network, h *Graph, opts Options) (*Report, error) {
 	r, err := core.DetectLocal(nw, core.LocalConfig{
 		H: h, Seed: opts.Seed, Parallel: opts.Parallel,
-		Faults: opts.Faults, Deadline: opts.Deadline,
+		Faults: opts.Faults, Deadline: opts.Deadline, Tracer: opts.Trace,
 	})
 	if r == nil {
 		return nil, err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-quick examples clean
+.PHONY: all build test race bench bench-report bench-compare experiments experiments-quick examples clean
 
 all: build test
 
@@ -18,6 +18,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-measure the tracked engine benchmarks and rewrite the committed
+# baseline (run on a quiet machine; see README "Performance").
+bench-report:
+	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+
+# Measure now and print a delta table against the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/benchreport -compare BENCH_PR3.json
 
 # Regenerate every EXPERIMENTS.md table (minutes).
 experiments:

@@ -1,0 +1,205 @@
+// benchreport runs the Go benchmarks of a package, parses the standard
+// -benchmem output and writes a machine-readable JSON report — the format
+// committed as BENCH_PR3.json and checked by the CI bench-regression job.
+// It can also diff two reports:
+//
+//	go run ./cmd/benchreport -out BENCH_PR3.json          # measure
+//	go run ./cmd/benchreport -compare BENCH_PR3.json      # measure + diff
+//	go run ./cmd/benchreport -compare old.json -in new.json  # pure diff
+//
+// A compare exits non-zero only when -max-regress is set and some
+// benchmark's ns/op regressed by more than that percentage; CI runs it
+// without the flag (report-only, non-gating).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document. Reference, when present, carries
+// the same benchmarks measured on an older engine for the PR's
+// before/after claim; the compare mode ignores it.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Package    string      `json:"package"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Reference  *Reference  `json:"reference,omitempty"`
+}
+
+// Reference pins the comparison point of a committed report.
+type Reference struct {
+	Commit     string      `json:"commit"`
+	Note       string      `json:"note"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	pkg := flag.String("pkg", "./internal/congest/", "package to benchmark")
+	bench := flag.String("bench", "BenchmarkDelivery$|BenchmarkSimulator|BenchmarkSteadyStateRound|BenchmarkSequentialNoTracer|BenchmarkParallelNoTracer",
+		"benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "2s", "go test -benchtime")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	in := flag.String("in", "", "read a report instead of running benchmarks (for pure diffs)")
+	compare := flag.String("compare", "", "baseline report to diff against")
+	maxRegress := flag.Float64("max-regress", 0, "fail when some ns/op regresses by more than this percent (0 = report only)")
+	flag.Parse()
+
+	var cur *Report
+	var err error
+	if *in != "" {
+		cur, err = readReport(*in)
+	} else {
+		cur, err = measure(*pkg, *bench, *benchtime)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		// Rewriting a committed report keeps its reference section: the
+		// pre-PR measurements are a historical record, not remeasurable.
+		if prev, err := readReport(*out); err == nil && cur.Reference == nil {
+			cur.Reference = prev.Reference
+		}
+		if err := writeReport(*out, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+	} else if *compare == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(cur)
+	}
+
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		if regressed := diff(base, cur, *maxRegress); regressed && *maxRegress > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// measure shells out to go test and parses the benchmark table.
+func measure(pkg, bench, benchtime string) (*Report, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+bench,
+		"-benchmem", "-benchtime="+benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	rep := &Report{
+		Schema:    "benchreport-v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Package:   pkg,
+		Benchtime: benchtime,
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched -bench=%s in %s", bench, pkg)
+	}
+	return rep, nil
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diff prints a delta table and reports whether any ns/op regression
+// exceeds maxRegress percent (always false when maxRegress is 0).
+func diff(base, cur *Report, maxRegress float64) bool {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Printf("%-32s %14s %14s %8s %10s %9s\n",
+		"benchmark", "base ns/op", "ns/op", "Δ%", "Δ B/op", "Δ allocs")
+	regressed := false
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.0f %8s %10s %9s\n", c.Name, "(new)", c.NsPerOp, "", "", "")
+			continue
+		}
+		pct := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %+10d %+9d\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pct,
+			c.BytesPerOp-b.BytesPerOp, c.AllocsPerOp-b.AllocsPerOp)
+		if maxRegress > 0 && pct > maxRegress {
+			regressed = true
+		}
+	}
+	for _, b := range base.Benchmarks {
+		found := false
+		for _, c := range cur.Benchmarks {
+			if c.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-32s %14.0f %14s\n", b.Name, b.NsPerOp, "(gone)")
+		}
+	}
+	return regressed
+}

@@ -13,6 +13,7 @@ package congest
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"subgraph/internal/graph"
 )
@@ -27,6 +28,22 @@ type Network struct {
 	G   *graph.Graph
 	ids []NodeID
 	idx map[NodeID]int
+
+	// deliv caches the delivery index (port → inbox-slot mapping plus the
+	// ID-sorted neighbor views every Env shares; see delivery.go). It
+	// depends only on the immutable topology and identifier assignment, so
+	// repeated runs on one Network — the experiment sweeps' pattern — pay
+	// for it once. Built lazily because split executions and plain Runs
+	// share it too.
+	delivOnce sync.Once
+	deliv     *deliveryIndex
+}
+
+// deliveryIndex returns the cached per-network delivery index, building it
+// on first use. Safe for concurrent runs over the same Network.
+func (nw *Network) deliveryIndex() *deliveryIndex {
+	nw.delivOnce.Do(func() { nw.deliv = newDeliveryIndex(nw) })
+	return nw.deliv
 }
 
 // NewNetwork builds a network over g with the default identifier

@@ -55,9 +55,10 @@ type Env struct {
 	n         int
 	b         int
 	round     int
-	neighbors []NodeID // sorted (ties broken by vertex)
-	nbrVs     []int    // vertex index of each entry in neighbors
-	rng       *rand.Rand
+	neighbors []NodeID   // sorted (ties broken by vertex)
+	nbrVs     []int32    // vertex index of each entry in neighbors
+	rng       *rand.Rand // built on first Rand() call; see rngSrc
+	rngSrc    splitMix64
 	broadcast bool
 
 	out      []outMsg
@@ -127,9 +128,42 @@ func (e *Env) HasNeighbor(id NodeID) bool {
 // Round returns the current round number (1-based; Init sees round 0).
 func (e *Env) Round() int { return e.round }
 
+// splitMix64 is a rand.Source64 with O(1) seeding. The default math/rand
+// source fills a 607-word LFSR at seed time (~2µs per node on the CI
+// machine), which profiled at ~50% of a whole randomized run: the runner
+// seeds one source per node per run, and most runs are short. SplitMix64
+// seeds by storing one word and passes BigCrush; it is the generator
+// recommended for seeding xoshiro-family states in Blackman & Vigna,
+// "Scrambled linear pseudorandom number generators" (2018). The stream a
+// node observes is a pure function of (run seed, vertex), as before —
+// only the generator changed, and no test expectation encodes the old
+// LFSR's output.
+type splitMix64 struct{ s uint64 }
+
+func (s *splitMix64) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMix64) Seed(seed int64) { s.s = uint64(seed) }
+
 // Rand returns this node's private random source, seeded deterministically
-// from the run seed and the node's position so both engines agree.
-func (e *Env) Rand() *rand.Rand { return e.rng }
+// from the run seed and the node's position so both engines agree. The
+// *rand.Rand wrapper is built lazily on first call, so algorithms that
+// never draw randomness pay nothing. Laziness is invisible to determinism
+// — the seed, and hence the stream, is fixed at setup — and each Env is
+// stepped by exactly one goroutine per round, so no lock is needed.
+func (e *Env) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(&e.rngSrc)
+	}
+	return e.rng
+}
 
 // Send queues payload for delivery to neighbor `to` at the start of the
 // next round. Bandwidth is enforced per directed edge per round after the
@@ -156,7 +190,7 @@ func (e *Env) Send(to NodeID, payload bitio.BitString) {
 		e.fail(fmt.Errorf("node %d: send to ambiguous duplicate id %d", e.id, to))
 		return
 	}
-	e.queue(outMsg{toV: e.nbrVs[i], port: int32(i), msg: Message{From: e.id, To: to, Payload: payload}})
+	e.queue(outMsg{toV: int(e.nbrVs[i]), port: int32(i), msg: Message{From: e.id, To: to, Payload: payload}})
 }
 
 // SendPort queues payload on the port-th incident edge (ports are indices
@@ -178,7 +212,7 @@ func (e *Env) SendPort(port int, payload bitio.BitString) {
 		e.fail(fmt.Errorf("node %d: port %d out of range [0,%d)", e.id, port, len(e.neighbors)))
 		return
 	}
-	e.queue(outMsg{toV: e.nbrVs[port], port: int32(port), msg: Message{From: e.id, To: e.neighbors[port], Payload: payload}})
+	e.queue(outMsg{toV: int(e.nbrVs[port]), port: int32(port), msg: Message{From: e.id, To: e.neighbors[port], Payload: payload}})
 }
 
 // Broadcast queues payload for delivery to every neighbor.
@@ -191,7 +225,7 @@ func (e *Env) Broadcast(payload bitio.BitString) {
 		return
 	}
 	for i, nb := range e.neighbors {
-		e.queue(outMsg{toV: e.nbrVs[i], port: int32(i), msg: Message{From: e.id, To: nb, Payload: payload}})
+		e.queue(outMsg{toV: int(e.nbrVs[i]), port: int32(i), msg: Message{From: e.id, To: nb, Payload: payload}})
 	}
 }
 

@@ -3,11 +3,8 @@ package congest
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"runtime/debug"
-	"sort"
-	"sync"
 	"time"
 
 	"subgraph/internal/obs"
@@ -178,28 +175,29 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// rt is nil when no Tracer is configured: every runTrace hook is a
+	// nil-receiver no-op, so hook call sites below are deliberately
+	// unguarded — adding `if rt != nil` branches is both redundant and a
+	// past source of inconsistency (see trace.go).
 	rt := newRunTrace(cfg.Tracer, n)
 	rt.onRunStart(nw, cfg, workers)
 
+	idx := nw.deliveryIndex()
 	envs := make([]*Env, n)
+	envArr := make([]Env, n)
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
-		ids := make([]NodeID, 0, nw.G.Degree(v))
-		vs := make([]int, 0, nw.G.Degree(v))
-		for _, w := range nw.G.Neighbors(v) {
-			ids = append(ids, nw.ids[w])
-			vs = append(vs, int(w))
-		}
-		sort.Sort(&idVertexSort{ids, vs})
-		envs[v] = &Env{
+		ids, vs := idx.neighborsOf(v)
+		envArr[v] = Env{
 			id:        nw.ids[v],
 			n:         n,
 			b:         cfg.B,
 			neighbors: ids,
-			rng:       rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(v)))),
+			nbrVs:     vs,
+			rngSrc:    splitMix64{s: uint64(mixSeed(cfg.Seed, int64(v)))},
 			broadcast: cfg.Broadcast,
 		}
-		envs[v].nbrVs = vs
+		envs[v] = &envArr[v]
 		nodes[v] = factory()
 	}
 
@@ -215,27 +213,47 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 	}
 	rt.onSetupDone()
 
-	stats := Stats{PerNodeBits: make([]int64, n)}
+	// PerRoundBits is preallocated up to a cap so steady-state appends
+	// never grow the slice; runs longer than the cap fall back to
+	// amortized doubling (a vanishing per-round alloc rate).
+	prCap := cfg.MaxRounds
+	if prCap > 4096 {
+		prCap = 4096
+	}
+	stats := Stats{PerNodeBits: make([]int64, n), PerRoundBits: make([]int64, 0, prCap)}
 	var transcript *Transcript
 	if cfg.RecordTranscript {
 		transcript = &Transcript{}
 	}
-	inboxes := make([][]Message, n)
 
-	// Directed-edge index: edge (v, port) ↦ edgeOff[v] + port, where port
-	// is the position in v's ID-sorted neighbor list (recorded by Env at
-	// send time). Per-round accumulators are flat slices reset via a
-	// touched list — the delivery hot path allocates nothing per round.
-	edgeOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		edgeOff[v+1] = edgeOff[v] + int32(nw.G.Degree(v))
-	}
+	// Delivery state (see delivery.go): arena-backed double-buffered
+	// inboxes plus the precomputed counting-sort slot index. Directed-edge
+	// bandwidth accumulators: edge (v, port) ↦ edgeOff[v] + port, where
+	// port is the position in v's ID-sorted neighbor list (recorded by Env
+	// at send time); flat slices reset via a touched list. Nothing in the
+	// per-round delivery path allocates once the arena has warmed up.
+	arena := newInboxArena(idx)
+	edgeOff := idx.edgeOff
 	edgeSent := make([]int, edgeOff[n])
 	var edgeDelivered []int
 	if adv != nil {
 		edgeDelivered = make([]int, edgeOff[n])
 	}
 	touched := make([]int32, 0, 64)
+
+	step := func(v, round int) {
+		env := envs[v]
+		if env.halted || env.crashed {
+			return
+		}
+		env.round = round
+		callNode(nodes[v], env, v, round, arena.inboxes[v], false)
+	}
+	var pool *workerPool
+	if cfg.Parallel && n > 1 {
+		pool = newWorkerPool(nw, workers, step)
+		defer pool.close()
+	}
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		// Graceful abort paths: the partial Result is still returned.
@@ -276,46 +294,12 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 		}
 		rt.onRoundStart(round, stats.TotalMessages, stats.DroppedMessages, stats.CorruptedMessages)
 
-		step := func(v int) {
-			env := envs[v]
-			if env.halted || env.crashed {
-				return
-			}
-			env.round = round
-			inbox := inboxes[v]
-			callNode(nodes[v], env, v, round, inbox, false)
-		}
-		if cfg.Parallel && n > 1 {
-			var wg sync.WaitGroup
-			chunk := (n + workers - 1) / workers
-			slots := rt.workerSlots(workers)
-			launched := 0
-			for w := 0; w < workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if lo >= n {
-					break
-				}
-				if hi > n {
-					hi = n
-				}
-				wg.Add(1)
-				launched++
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					if slots != nil {
-						t0 := time.Now()
-						defer func() { slots[w] = time.Since(t0).Nanoseconds() }()
-					}
-					for v := lo; v < hi; v++ {
-						step(v)
-					}
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			rt.onComputeEnd(launched)
+		if pool != nil {
+			pool.run(round, rt.workerSlots(pool.active()))
+			rt.onComputeEnd(pool.active())
 		} else {
 			for v := 0; v < n; v++ {
-				step(v)
+				step(v, round)
 			}
 			rt.onComputeEnd(0)
 		}
@@ -323,8 +307,9 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 
 		// Collect, validate, apply faults and deliver (sequential,
 		// deterministic — the first error in vertex order wins on both
-		// engines).
-		next := make([][]Message, n)
+		// engines). Delivered messages are staged into the arena's slot
+		// counters; the counting sort in deliver() then reproduces the
+		// sender-ID-sorted inbox contract without per-round allocation.
 		var roundBits int64
 		var roundLog []Message
 		for v := 0; v < n; v++ {
@@ -333,9 +318,9 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 				return nil, env.err
 			}
 			for _, m := range env.out {
-				e := int(edgeOff[v]) + int(m.port)
+				e := edgeOff[v] + m.port
 				bits := m.msg.Payload.Len()
-				touched = append(touched, int32(e))
+				touched = append(touched, e)
 				edgeSent[e] += bits
 				if cfg.B > 0 && edgeSent[e] > cfg.B {
 					return nil, fmt.Errorf(
@@ -361,11 +346,18 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 				}
 				if tag != FaultDropped {
 					if adv != nil {
+						// The message as delivered may differ from the
+						// outbox copy, so it must be staged eagerly.
 						edgeDelivered[e] += payload.Len()
+						dm := m.msg
+						dm.Payload = payload
+						arena.stage(e, m.toV, dm)
+					} else {
+						// Fault-free fast path: only count now; the
+						// placement pass below re-walks the outboxes and
+						// copies each message exactly once.
+						arena.count(e, m.toV)
 					}
-					dm := m.msg
-					dm.Payload = payload
-					next[m.toV] = append(next[m.toV], dm)
 				}
 				if transcript != nil {
 					lm := m.msg
@@ -373,11 +365,8 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 					lm.Fault = tag
 					roundLog = append(roundLog, lm)
 				}
-				if rt != nil {
-					rt.onMessage(round, v, m.toV, env.id, m.msg.To, bits, payload, tag, flipped)
-				}
+				rt.onMessage(round, v, m.toV, env.id, m.msg.To, bits, payload, tag, flipped)
 			}
-			env.out = env.out[:0]
 			rt.onNodeScan(round, v, env)
 		}
 		for _, e := range touched {
@@ -392,12 +381,22 @@ func Run(nw *Network, factory func() Node, cfg Config) (*Result, error) {
 		if transcript != nil {
 			transcript.Rounds = append(transcript.Rounds, roundLog)
 		}
-		// Sort each inbox by sender ID (stable: per-sender order preserved
-		// because vertices were scanned in index order above).
-		for v := range next {
-			sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		if adv == nil {
+			buf := arena.beginDeliver()
+			for v := 0; v < n; v++ {
+				env := envs[v]
+				for _, m := range env.out {
+					arena.place(buf, edgeOff[v]+m.port, m.msg)
+				}
+				env.out = env.out[:0]
+			}
+			arena.endDeliver(buf)
+		} else {
+			arena.deliver()
+			for v := 0; v < n; v++ {
+				envs[v].out = envs[v].out[:0]
+			}
 		}
-		inboxes = next
 		rt.onRoundEnd(round, stats.PerRoundBits[round-1],
 			stats.TotalMessages, stats.DroppedMessages, stats.CorruptedMessages, active)
 	}
@@ -441,7 +440,7 @@ func mixSeed(seed, v int64) int64 {
 
 type idVertexSort struct {
 	ids []NodeID
-	vs  []int
+	vs  []int32
 }
 
 func (s *idVertexSort) Len() int { return len(s.ids) }

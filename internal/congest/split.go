@@ -2,8 +2,6 @@ package congest
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
 )
 
 // Split execution: the literal two-party simulation of Theorem 1.2's
@@ -59,13 +57,17 @@ func (r *SplitResult) Rejected() bool {
 	return false
 }
 
-// splitPlayer is one side's private simulation state.
+// splitPlayer is one side's private simulation state. Each player owns an
+// inboxArena (see delivery.go): the same pooled, counting-sorted delivery
+// the monolithic runner uses, so the two execution paths cannot drift in
+// inbox ordering, and the per-round map-of-slices allocation pattern this
+// file used before PR 3 is gone.
 type splitPlayer struct {
 	who      SplitRole // SplitAlice or SplitBob
 	simulate []bool    // vertices this player steps
 	envs     []*Env
 	nodes    []Node
-	inboxes  [][]Message
+	arena    *inboxArena
 }
 
 // RunSplit executes the algorithm as two synchronized players.
@@ -77,6 +79,7 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 	if cfg.MaxRounds <= 0 {
 		return nil, fmt.Errorf("congest: MaxRounds must be positive")
 	}
+	idx := nw.deliveryIndex()
 
 	mkPlayer := func(who SplitRole) *splitPlayer {
 		p := &splitPlayer{
@@ -84,29 +87,23 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 			simulate: make([]bool, n),
 			envs:     make([]*Env, n),
 			nodes:    make([]Node, n),
-			inboxes:  make([][]Message, n),
+			arena:    newInboxArena(idx),
 		}
 		for v := 0; v < n; v++ {
 			if owner[v] != who && owner[v] != SplitShared {
 				continue
 			}
 			p.simulate[v] = true
-			ids := make([]NodeID, 0, nw.G.Degree(v))
-			vs := make([]int, 0, nw.G.Degree(v))
-			for _, w := range nw.G.Neighbors(v) {
-				ids = append(ids, nw.ids[w])
-				vs = append(vs, int(w))
-			}
-			sort.Sort(&idVertexSort{ids, vs})
+			ids, vs := idx.neighborsOf(v)
 			p.envs[v] = &Env{
 				id:        nw.ids[v],
 				n:         n,
 				b:         cfg.B,
 				neighbors: ids,
-				rng:       rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(v)))),
+				nbrVs:     vs,
+				rngSrc:    splitMix64{s: uint64(mixSeed(cfg.Seed, int64(v)))},
 				broadcast: cfg.Broadcast,
 			}
-			p.envs[v].nbrVs = vs
 			p.nodes[v] = factory()
 			p.nodes[v].Init(p.envs[v])
 			if p.envs[v].err != nil {
@@ -142,7 +139,7 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 					continue
 				}
 				p.envs[v].round = round
-				p.nodes[v].Round(p.envs[v], p.inboxes[v])
+				p.nodes[v].Round(p.envs[v], p.arena.inboxes[v])
 				if p.envs[v].err != nil {
 					return nil, p.envs[v].err
 				}
@@ -177,11 +174,10 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 		//     simulated by the other player, hand it across (count bits).
 		// Shared senders' messages are computed by both players, so they
 		// never cross (each player already has them); deliver them only
-		// from each player's own copy to its own targets.
-		next := map[*splitPlayer][][]Message{
-			alice: make([][]Message, n),
-			bob:   make([][]Message, n),
-		}
+		// from each player's own copy to its own targets. Messages are
+		// staged into each player's arena and counting-sorted by the shared
+		// slot index, so inbox order is identical to the monolithic runner
+		// regardless of which player's scan staged the message.
 		var crossBits int64
 		for _, p := range players {
 			other := alice
@@ -194,12 +190,13 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 				}
 				isPrivateSender := owner[v] == p.who
 				for _, m := range p.envs[v].out {
+					e := idx.edgeOff[v] + m.port
 					if p.simulate[m.toV] {
-						next[p][m.toV] = append(next[p][m.toV], m.msg)
+						p.arena.stage(e, m.toV, m.msg)
 					}
 					if isPrivateSender && other.simulate[m.toV] {
 						crossBits += int64(m.msg.Payload.Len())
-						next[other][m.toV] = append(next[other][m.toV], m.msg)
+						other.arena.stage(e, m.toV, m.msg)
 					}
 				}
 				p.envs[v].out = p.envs[v].out[:0]
@@ -208,12 +205,7 @@ func RunSplit(nw *Network, owner []SplitRole, factory func() Node, cfg Config) (
 		res.BitsExchanged += crossBits
 		res.PerRoundBits = append(res.PerRoundBits, crossBits)
 		for _, p := range players {
-			for v := range next[p] {
-				sort.SliceStable(next[p][v], func(i, j int) bool {
-					return next[p][v][i].From < next[p][v][j].From
-				})
-			}
-			p.inboxes = next[p]
+			p.arena.deliver()
 		}
 	}
 

@@ -140,3 +140,85 @@ func TestSplitBadOwner(t *testing.T) {
 		t.Fatal("short owner accepted")
 	}
 }
+
+// inboxHashNode folds its inbox into a rolling FNV-style hash IN ORDER —
+// any permutation of the same multiset of messages yields a different
+// hash — and rebroadcasts a slice of the hash, so a single out-of-order
+// delivery anywhere cascades through the whole network. Its decision is a
+// function of the final hash.
+type inboxHashNode struct {
+	acc uint64
+}
+
+func (h *inboxHashNode) Init(env *Env) { h.acc = uint64(env.ID()) + 0x9e37 }
+
+func (h *inboxHashNode) Round(env *Env, inbox []Message) {
+	for _, m := range inbox {
+		h.acc = (h.acc*1099511628211 ^ uint64(m.From)<<17) + 0xcbf29ce4
+		rd := bitio.NewReader(m.Payload)
+		v, _ := rd.ReadUint(16)
+		h.acc = h.acc*31 ^ v
+	}
+	if env.Round() >= 8 {
+		if h.acc%3 == 0 {
+			env.Reject()
+		}
+		env.Halt()
+		return
+	}
+	env.Broadcast(bitio.Uint(h.acc&0xffff, 16))
+}
+
+// The split execution shares the pooled-inbox + counting-sort delivery
+// with the monolithic runner since PR 3; this cross-check pins that the
+// two paths deliver inboxes in the SAME order on a skewed instance where
+// order mistakes amplify. The hub of the star is simulated by both
+// players (shared), so the SharedConsistent verification doubles as an
+// order check: if the two players staged the hub's inbox differently,
+// their hub copies would hash — and emit — differently.
+func TestSplitInboxOrderMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNP(24, 0.1, rng)
+	g, _ = graph.PlantClique(g, 6, rng)
+	// Attach a hub adjacent to everything: maximal degree skew.
+	b := graph.NewBuilder(g.N() + 1)
+	hub := g.N()
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < int(w) {
+				b.AddEdge(v, int(w))
+			}
+		}
+		b.AddEdge(v, hub)
+	}
+	sg := b.Build()
+	nw := NewNetwork(sg)
+
+	owner := make([]SplitRole, sg.N())
+	for v := range owner {
+		owner[v] = SplitRole(v % 2) // alternate Alice / Bob
+	}
+	owner[hub] = SplitShared
+
+	cfg := Config{B: 64, MaxRounds: 12, Seed: 99}
+	mono, err := Run(nw, func() Node { return &inboxHashNode{} }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := RunSplit(nw, owner, func() Node { return &inboxHashNode{} }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.SharedConsistent {
+		t.Fatal("hub copies diverged: players staged the shared inbox in different orders")
+	}
+	if split.Rounds != mono.Stats.Rounds {
+		t.Fatalf("rounds: split %d, run %d", split.Rounds, mono.Stats.Rounds)
+	}
+	for v := range mono.Decisions {
+		if mono.Decisions[v] != split.Decisions[v] {
+			t.Fatalf("vertex %d: split decided %v, run decided %v — inbox order diverged upstream",
+				v, split.Decisions[v], mono.Decisions[v])
+		}
+	}
+}

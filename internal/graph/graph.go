@@ -13,10 +13,19 @@ import (
 )
 
 // Graph is an immutable undirected simple graph on vertices 0..N-1.
+//
+// Neighbor lists are stored in compressed-sparse-row (CSR) form: one flat
+// array of neighbor entries plus per-vertex offsets. adj[v] is a view into
+// the flat array, so iterating consecutive vertices walks contiguous
+// memory — the simulator's per-round scans and the traversal/clique
+// kernels are cache-line friendly, and building a graph performs O(1)
+// neighbor-storage allocations instead of O(n).
 type Graph struct {
 	n   int
 	m   int
-	adj [][]int32 // sorted neighbor lists
+	off []int32   // off[v]..off[v+1] bounds v's segment of csr
+	csr []int32   // all neighbor lists, concatenated, each sorted
+	adj [][]int32 // adj[v] = csr[off[v]:off[v+1]] (views, not copies)
 }
 
 // Builder accumulates edges for a Graph. Duplicate edges and self-loops are
@@ -84,26 +93,43 @@ func normEdge(u, v int) [2]int32 {
 	return [2]int32{int32(u), int32(v)}
 }
 
-// Build produces the immutable graph. The builder may keep being used.
+// Build produces the immutable graph in CSR form. The builder may keep
+// being used.
 func (b *Builder) Build() *Graph {
-	g := &Graph{n: b.n, m: len(b.edges), adj: make([][]int32, b.n)}
-	deg := make([]int, b.n)
-	for e := range b.edges {
-		deg[e[0]]++
-		deg[e[1]]++
-	}
-	for v := range g.adj {
-		g.adj[v] = make([]int32, 0, deg[v])
+	g := &Graph{
+		n:   b.n,
+		m:   len(b.edges),
+		off: make([]int32, b.n+1),
+		csr: make([]int32, 2*len(b.edges)),
+		adj: make([][]int32, b.n),
 	}
 	for e := range b.edges {
-		g.adj[e[0]] = append(g.adj[e[0]], e[1])
-		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+		g.off[e[0]+1]++
+		g.off[e[1]+1]++
 	}
-	for v := range g.adj {
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] += g.off[v]
+	}
+	cursor := make([]int32, b.n)
+	for e := range b.edges {
+		u, w := e[0], e[1]
+		g.csr[g.off[u]+cursor[u]] = w
+		g.csr[g.off[w]+cursor[w]] = u
+		cursor[u]++
+		cursor[w]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = g.csr[g.off[v]:g.off[v+1]:g.off[v+1]]
 		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
 	}
 	return g
 }
+
+// CSR exposes the compressed-sparse-row neighbor storage: off has n+1
+// entries and nbrs[off[v]:off[v+1]] is v's sorted neighbor list. Callers
+// must not modify either slice. The congest simulator builds its flat
+// directed-edge indexes directly on this layout.
+func (g *Graph) CSR() (off, nbrs []int32) { return g.off, g.csr }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }

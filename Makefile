@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare experiments experiments-quick examples clean
+.PHONY: all build test race bench bench-report bench-compare experiments experiments-quick examples serve smoke loadgen-report clean
 
 all: build test
 
@@ -35,6 +35,19 @@ experiments:
 # Smoke-scale sweep (seconds).
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
+
+# Run the detection-job daemon on the default port (see README "Serving").
+serve:
+	$(GO) run ./cmd/subgraphd
+
+# End-to-end daemon smoke: selfcheck + queue saturation + SIGTERM drain.
+smoke:
+	./scripts/smoke_subgraphd.sh
+
+# Re-measure the committed serving baseline (in-process server; run on a
+# quiet machine).
+loadgen-report:
+	$(GO) run ./cmd/subgraphd -loadgen -jobs 400 -seed 1 -out BENCH_PR4.json
 
 examples:
 	$(GO) run ./examples/quickstart

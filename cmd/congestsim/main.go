@@ -41,7 +41,7 @@ func run() int {
 		p         = flag.Float64("p", 0.05, "edge probability for gnp / background of planted graphs")
 		cycleLen  = flag.Int("cycle", 4, "planted cycle length (graph=planted-cycle)")
 		cliqueSz  = flag.Int("clique", 4, "planted clique size (graph=planted-clique)")
-		pattern   = flag.String("pattern", "cycle:4", "pattern: cycle:L | clique:S | path:L | star:L")
+		pattern   = flag.String("pattern", "cycle:4", "pattern: triangle | cycle:L | clique:S | path:L | star:L")
 		model     = flag.String("model", "congest", "model: congest | local")
 		reps      = flag.Int("reps", 0, "color-coding repetitions (0 = default)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -53,6 +53,7 @@ func run() int {
 		resilient = flag.Bool("resilient", false, "wrap nodes in the ack/retransmit decorator to tolerate message loss")
 		tracefile = flag.String("tracefile", "", "stream run events to this file as JSON Lines")
 		report    = flag.String("report", "", "write a JSON run report (metrics, per-round series) to this file")
+		dump      = flag.String("dump", "", "write the (generated or loaded) topology to this edge-list file and continue")
 	)
 	var profiles obs.Profiles
 	profiles.RegisterFlags(flag.CommandLine)
@@ -84,6 +85,14 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+
+	if *dump != "" {
+		if err := dumpGraph(*dump, g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("dump    : wrote %s\n", *dump)
 	}
 
 	fmt.Printf("network : %s n=%d m=%d\n", *graphKind, g.N(), g.M())
@@ -203,6 +212,20 @@ func buildFaultPlan(seed int64, drop, corrupt float64, crash string) (*subgraph.
 	}, nil
 }
 
+// dumpGraph writes g in the edge-list format the -file flag and the
+// subgraphd upload endpoint read back.
+func dumpGraph(path string, g *subgraph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := subgraph.WriteEdgeList(f, g)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 func loadGraph(path string) (*subgraph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -234,24 +257,8 @@ func buildGraph(kind string, n int, p float64, cycleLen, cliqueSz int, rng *rand
 	return nil, fmt.Errorf("unknown graph kind %q", kind)
 }
 
+// buildPattern delegates to the facade's pattern codec — the same parser
+// the subgraphd job API uses, so CLI and server accept identical specs.
 func buildPattern(spec string) (*subgraph.Graph, error) {
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("pattern must look like cycle:4, got %q", spec)
-	}
-	size, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("bad pattern size in %q", spec)
-	}
-	switch parts[0] {
-	case "cycle":
-		return subgraph.Cycle(size), nil
-	case "clique":
-		return subgraph.Complete(size), nil
-	case "path":
-		return subgraph.Path(size), nil
-	case "star":
-		return subgraph.Star(size), nil
-	}
-	return nil, fmt.Errorf("unknown pattern kind %q", parts[0])
+	return subgraph.ParsePattern(spec)
 }

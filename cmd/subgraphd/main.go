@@ -1,0 +1,196 @@
+// Command subgraphd is the long-running detection-job daemon: it serves
+// the subgraph-detection HTTP/JSON API (graph uploads, job submission,
+// result polling, traces, metrics) on a bounded worker budget with a
+// content-addressed graph store and an LRU result cache.
+//
+// Modes:
+//
+//	subgraphd -listen :8080                        # serve until SIGTERM
+//	subgraphd -loadgen -jobs 500 -out BENCH.json   # load-test (in-process server)
+//	subgraphd -loadgen -target http://host:8080    # load-test a remote daemon
+//	subgraphd -selfcheck http://host:8080          # end-to-end cross-check
+//
+// On SIGTERM/SIGINT the daemon stops admitting jobs (503), finishes the
+// queued and in-flight ones, prints a drain summary, and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"subgraph/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "address to serve on (use :0 for an ephemeral port)")
+		portFile     = flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+		workers      = flag.Int("workers", 2, "worker goroutines executing jobs")
+		queue        = flag.Int("queue", 64, "admission queue depth (a full queue answers 429)")
+		cacheSize    = flag.Int("cache", 512, "result cache entries (0 = default, negative disables)")
+		maxGraphs    = flag.Int("max-graphs", 128, "graphs retained in the content-addressed store (LRU)")
+		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock deadline cap")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+
+		loadgen     = flag.Bool("loadgen", false, "load-generator mode: replay a seeded job mix and report latency percentiles")
+		target      = flag.String("target", "", "loadgen: base URL of a running daemon (default: in-process server)")
+		jobs        = flag.Int("jobs", 200, "loadgen: jobs to replay")
+		concurrency = flag.Int("concurrency", 8, "loadgen: client workers")
+		seed        = flag.Int64("seed", 1, "loadgen: workload seed (same seed = same mix)")
+		graphN      = flag.Int("graph-n", 150, "loadgen: vertices per generated topology")
+		repeatFrac  = flag.Float64("repeat", 0.5, "loadgen: fraction of jobs repeating an earlier one (cache exercise)")
+		out         = flag.String("out", "", "loadgen: write the benchreport JSON here (default stdout)")
+
+		selfcheck = flag.String("selfcheck", "", "run the end-to-end self-check against this base URL and exit")
+		saturate  = flag.Bool("saturate", false, "selfcheck: also assert 429 admission control (server must run -workers 1 -queue 1)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "subgraphd: ", log.LstdFlags)
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxGraphs:      *maxGraphs,
+		MaxJobDeadline: *maxDeadline,
+	}
+
+	switch {
+	case *selfcheck != "":
+		err := serve.SelfCheck(*selfcheck, serve.SelfCheckOptions{
+			Saturate: *saturate,
+			Logf:     logger.Printf,
+		})
+		if err != nil {
+			logger.Printf("selfcheck FAILED: %v", err)
+			return 1
+		}
+		logger.Printf("selfcheck passed")
+		return 0
+
+	case *loadgen:
+		return runLoadGen(logger, cfg, serve.LoadGenConfig{
+			BaseURL:        *target,
+			Jobs:           *jobs,
+			Concurrency:    *concurrency,
+			Seed:           *seed,
+			GraphN:         *graphN,
+			RepeatFraction: *repeatFrac,
+			Logf:           logger.Printf,
+		}, *out)
+
+	default:
+		return runServe(logger, cfg, *listen, *portFile, *drainTimeout)
+	}
+}
+
+// runServe serves the API until SIGTERM/SIGINT, then drains and exits.
+func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, drainTimeout time.Duration) int {
+	srv := serve.New(cfg)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		logger.Printf("listen %s: %v", listen, err)
+		return 1
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Printf("writing portfile: %v", err)
+			return 1
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: draining (in-flight and queued jobs keep running, new submissions get 503)", sig)
+	case err := <-errc:
+		logger.Printf("http server: %v", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	completed, derr := srv.Drain(ctx)
+	// The HTTP listener stays up during the drain so clients can poll the
+	// jobs they already own; shut it down once the queue is empty.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+	if derr != nil {
+		logger.Printf("drain: %v (%d jobs completed since startup)", derr, completed)
+		return 1
+	}
+	logger.Printf("drained cleanly; %d jobs completed since startup", completed)
+	return 0
+}
+
+// runLoadGen replays the seeded mix, spinning up an in-process daemon when
+// no -target is given, and writes the benchreport JSON.
+func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string) int {
+	if lg.BaseURL == "" {
+		srv := serve.New(cfg)
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			logger.Printf("listen: %v", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_, _ = srv.Drain(ctx)
+			_ = hs.Shutdown(ctx)
+		}()
+		lg.BaseURL = "http://" + ln.Addr().String()
+		logger.Printf("loadgen against in-process server %s (workers=%d)", lg.BaseURL, cfg.Workers)
+	}
+
+	res, err := serve.RunLoadGen(lg)
+	if err != nil {
+		logger.Printf("loadgen: %v", err)
+		return 1
+	}
+	if res.Errors > 0 {
+		logger.Printf("loadgen: %d jobs errored", res.Errors)
+		return 1
+	}
+	data, err := json.MarshalIndent(res.BenchReport(), "", "  ")
+	if err != nil {
+		logger.Printf("encoding report: %v", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "" {
+		fmt.Print(string(data))
+		return 0
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		logger.Printf("writing %s: %v", out, err)
+		return 1
+	}
+	logger.Printf("wrote %s", out)
+	return 0
+}

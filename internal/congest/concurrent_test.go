@@ -1,0 +1,111 @@
+package congest
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+	"subgraph/internal/obs"
+)
+
+// TestConcurrentRunsSharedNetwork pins the contract the serve layer is
+// built on: a *Network is immutable after construction (the delivery index
+// builds once under sync.Once), so any number of Runs — sequential or
+// parallel engine, each with its own Config, seed, and obs.Collector — may
+// execute concurrently on ONE shared Network and every execution is
+// bit-identical to the same run performed serially. The server's
+// content-addressed graph store hands one Network to all workers; this
+// test (run under -race in CI) is the evidence that that sharing is sound.
+func TestConcurrentRunsSharedNetwork(t *testing.T) {
+	g := graph.GNP(48, 0.12, rand.New(rand.NewSource(3)))
+	nw := NewNetwork(g)
+
+	// A chatty node: every vertex broadcasts a fingerprint of (ID, round,
+	// private randomness) for 20 rounds, then parity-decides. The private
+	// random draw makes executions seed-sensitive, so cross-seed result
+	// mixing would be caught.
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.Round() > 20 {
+				if (uint64(env.ID())+env.Rand().Uint64())%2 == 0 {
+					env.Accept()
+				} else {
+					env.Reject()
+				}
+				env.Halt()
+				return
+			}
+			word := uint64(env.ID())<<8 | uint64(env.Round())&0xff
+			env.Broadcast(bitio.Uint((word^env.Rand().Uint64())&0xffffff, 24))
+		}}
+	}
+
+	configs := []Config{
+		{B: 24, MaxRounds: 32, Seed: 1},
+		{B: 24, MaxRounds: 32, Seed: 1, Parallel: true},
+		{B: 24, MaxRounds: 32, Seed: 2},
+		{B: 24, MaxRounds: 32, Seed: 2, Parallel: true},
+	}
+
+	runOnce := func(cfg Config) (*Result, *obs.RunReport, error) {
+		col := obs.NewCollector()
+		cfg.Tracer = col // independent collector per concurrent run
+		res, err := Run(nw, factory, cfg)
+		return res, col.Report(), err
+	}
+
+	// Serial baselines first.
+	baselines := make([]*Result, len(configs))
+	for i, cfg := range configs {
+		res, rep, err := runOnce(cfg)
+		if err != nil {
+			t.Fatalf("baseline %d: %v", i, err)
+		}
+		if rep.Summary.Rounds != res.Stats.Rounds {
+			t.Fatalf("baseline %d: collector saw %d rounds, runner %d",
+				i, rep.Summary.Rounds, res.Stats.Rounds)
+		}
+		baselines[i] = res
+	}
+
+	// Then many interleaved lanes per config, all on the shared Network.
+	const lanes = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, lanes*len(configs))
+	for lane := 0; lane < lanes; lane++ {
+		for i, cfg := range configs {
+			wg.Add(1)
+			go func(i int, cfg Config) {
+				defer wg.Done()
+				res, rep, err := runOnce(cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := baselines[i]
+				if !reflect.DeepEqual(res.Decisions, want.Decisions) {
+					t.Errorf("config %d: concurrent decisions differ from serial run", i)
+				}
+				if !reflect.DeepEqual(res.Stats, want.Stats) {
+					t.Errorf("config %d: concurrent stats differ from serial run", i)
+				}
+				// Each run's private collector must describe exactly its
+				// own run — no cross-run bleed through the shared Network.
+				if got := rep.Metrics.Counters[obs.MetricBits]; got != res.Stats.TotalBits {
+					t.Errorf("config %d: collector counted %d bits, runner %d", i, got, res.Stats.TotalBits)
+				}
+				if rep.Metrics.Counters[obs.MetricRuns] != 1 {
+					t.Errorf("config %d: collector saw %d runs, want 1", i, rep.Metrics.Counters[obs.MetricRuns])
+				}
+			}(i, cfg)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

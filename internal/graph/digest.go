@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest returns the canonical content address of the graph: the
+// lowercase-hex SHA-256 of a fixed binary serialization of (n, sorted edge
+// list). Two Graph values carry the same digest exactly when they have the
+// same vertex count and the same labeled edge set — regardless of the
+// order edges were added to the Builder, and stable across processes and
+// platforms.
+//
+// The digest addresses *labeled* graphs: relabeling vertices generally
+// changes the digest even though the result is isomorphic. That is the
+// intended semantics for content-addressed storage (the serve layer
+// dedupes uploads byte-for-byte by meaning, not by isomorphism class —
+// isomorphism-invariant hashing is a much harder problem).
+//
+// Serialization: "sgd1" magic, then n, then each edge (u, v) with u < v in
+// ascending (u, v) order, all as big-endian uint64. Graph.Edges() already
+// yields exactly that order from the CSR layout.
+func (g *Graph) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	h.Write([]byte("sgd1"))
+	binary.BigEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				binary.BigEndian.PutUint64(buf[:], uint64(u))
+				h.Write(buf[:])
+				binary.BigEndian.PutUint64(buf[:], uint64(w))
+				h.Write(buf[:])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

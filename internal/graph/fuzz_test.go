@@ -2,19 +2,68 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
 
 // FuzzReadEdgeList: the parser must never panic, and anything it accepts
-// must survive a write→read round trip.
+// must survive a write→read round trip. The fuzz body parses every input
+// twice — under permissive and under tight Limits (the latter is the
+// configuration shape the serve layer's untrusted upload path uses) —
+// asserting that limited parsing never panics, never accepts anything
+// beyond its bounds, rejects out-of-bounds input only with *LimitError,
+// and agrees with the permissive parse on inputs inside the bounds.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("n 5\n0 1\n1 2\n")
 	f.Add("0 1\n# comment\n\n2 3\n")
 	f.Add("n x\n")
 	f.Add("1 1\n")
+	f.Add("n -3\n0 1\n")
+	f.Add("0 1 2\n")
+	f.Add("n 50\nn 50\n")
+	f.Add("0 99999999999999999999\n")
+	lim := Limits{MaxVertices: 64, MaxEdges: 32, MaxLineBytes: 128}
+	// The permissive side runs under a large-but-sane bound rather than
+	// truly unlimited: a fuzz input like "0 999999999" would otherwise make
+	// the builder allocate O(max vertex) memory and kill the fuzz worker,
+	// and the duplicate-edge check is O(degree) per edge, so the edge bound
+	// keeps adversarial stars (every edge on one hub) off the quadratic
+	// worst case.
+	big := Limits{MaxVertices: 1 << 16, MaxEdges: 1 << 12}
 	f.Fuzz(func(t *testing.T, input string) {
-		g, err := ReadEdgeList(strings.NewReader(input))
+		g, err := ReadEdgeListLimits(strings.NewReader(input), big)
+		lg, lerr := ReadEdgeListLimits(strings.NewReader(input), lim)
+		var bigLimit *LimitError
+		if errors.As(err, &bigLimit) {
+			// Beyond even the permissive bound. The strict parse scans the
+			// same lines with lower limits, so it cannot have accepted.
+			if lerr == nil {
+				t.Fatalf("strict limits accepted what permissive limits rejected: %v", err)
+			}
+			return
+		}
+		if lerr == nil {
+			if lg.N() > lim.MaxVertices {
+				t.Fatalf("limited parse accepted %d vertices (max %d)", lg.N(), lim.MaxVertices)
+			}
+			if lg.M() > lim.MaxEdges {
+				t.Fatalf("limited parse accepted %d edges (max %d)", lg.M(), lim.MaxEdges)
+			}
+			if err != nil {
+				t.Fatalf("limited parse accepted what unlimited rejected: %v", err)
+			}
+			if lg.Digest() != g.Digest() {
+				t.Fatalf("limited and unlimited parses disagree: %s vs %s", lg.Digest(), g.Digest())
+			}
+		} else if err == nil {
+			// Unlimited accepted, limited rejected: only a limit may be the
+			// reason.
+			var le *LimitError
+			if !errors.As(lerr, &le) {
+				t.Fatalf("limited parse rejected in-bounds input with %v", lerr)
+			}
+		}
 		if err != nil {
 			return
 		}

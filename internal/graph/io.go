@@ -2,15 +2,63 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
 // Plain edge-list serialization: one "u v" pair per line, '#' comments and
 // blank lines ignored; the vertex count is max index + 1 unless a header
 // line "n <count>" pins it (isolated trailing vertices need the header).
-// Used by the CLI tools to load and dump topologies.
+// Used by the CLI tools to load and dump topologies, and by the serve
+// layer's upload endpoint — the parser therefore treats its input as
+// untrusted: every malformed or oversized input is rejected with a typed
+// error (*ParseError / *LimitError), never a panic, and ReadEdgeListLimits
+// bounds the memory a hostile upload can make it allocate.
+
+// ParseError reports malformed edge-list input with its line number.
+type ParseError struct {
+	// Line is the 1-based input line the error was detected on (0 when the
+	// error is not attributable to a single line, e.g. a truncated stream).
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("graph: line %d: %s", e.Line, e.Msg)
+	}
+	return "graph: " + e.Msg
+}
+
+// LimitError reports input that exceeds a ReadEdgeListLimits bound. It is
+// distinct from ParseError so servers can map it to 413 rather than 400.
+type LimitError struct {
+	// What names the exceeded bound: "vertices", "edges", or "line bytes".
+	What string
+	// Got and Max are the offending value and the configured bound.
+	Got, Max int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("graph: input exceeds %s limit: %d > %d", e.What, e.Got, e.Max)
+}
+
+// Limits bounds what ReadEdgeListLimits will accept from untrusted input.
+// Zero fields mean "no bound" for that dimension.
+type Limits struct {
+	// MaxVertices caps the declared or inferred vertex count (bounds the
+	// builder's O(n) allocations).
+	MaxVertices int
+	// MaxEdges caps the number of edge lines (bounds the edge buffer).
+	MaxEdges int
+	// MaxLineBytes caps a single line's length (bounds the scanner buffer;
+	// default 1 MiB when unset — the permissive ReadEdgeList default).
+	MaxLineBytes int
+}
 
 // WriteEdgeList writes g in edge-list format with an "n" header.
 func WriteEdgeList(w io.Writer, g *Graph) error {
@@ -26,10 +74,28 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses the format written by WriteEdgeList (duplicate
-// edges are rejected; self-loops are an error).
+// edges are rejected; self-loops are an error). It applies no size limits
+// beyond a 1 MiB line cap — use ReadEdgeListLimits for untrusted input.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimits(r, Limits{})
+}
+
+// ReadEdgeListLimits parses an edge list from untrusted input under the
+// given limits. All rejections are typed: *ParseError for malformed input,
+// *LimitError for oversized input, or the reader's own error.
+func ReadEdgeListLimits(r io.Reader, lim Limits) (*Graph, error) {
+	maxLine := lim.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = 1 << 20
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	// The scanner's cap is max(maxLine, cap(initial buffer)), so the
+	// initial buffer must not exceed the limit.
+	bufSize := 64 * 1024
+	if bufSize > maxLine {
+		bufSize = maxLine
+	}
+	sc.Buffer(make([]byte, bufSize), maxLine)
 	n := -1
 	var edges [][2]int
 	maxV := -1
@@ -40,21 +106,47 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		if strings.HasPrefix(text, "n ") || strings.HasPrefix(text, "n\t") {
-			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad header %q", line, text)
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if n >= 0 {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("duplicate header %q", text)}
 			}
+			if len(fields) != 2 {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad header %q", text)}
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad header %q", text)}
+			}
+			if lim.MaxVertices > 0 && v > lim.MaxVertices {
+				return nil, &LimitError{What: "vertices", Got: v, Max: lim.MaxVertices}
+			}
+			n = v
 			continue
 		}
-		var u, v int
-		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+		if len(fields) != 2 {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad edge %q", text)}
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad edge %q", text)}
 		}
 		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative vertex", line)
+			return nil, &ParseError{Line: line, Msg: "negative vertex"}
 		}
 		if u == v {
-			return nil, fmt.Errorf("graph: line %d: self-loop %d", line, u)
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("self-loop %d", u)}
+		}
+		if lim.MaxEdges > 0 && len(edges) == lim.MaxEdges {
+			return nil, &LimitError{What: "edges", Got: len(edges) + 1, Max: lim.MaxEdges}
+		}
+		if lim.MaxVertices > 0 && (u >= lim.MaxVertices || v >= lim.MaxVertices) {
+			m := u
+			if v > m {
+				m = v
+			}
+			return nil, &LimitError{What: "vertices", Got: m + 1, Max: lim.MaxVertices}
 		}
 		edges = append(edges, [2]int{u, v})
 		if u > maxV {
@@ -65,18 +157,21 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, &LimitError{What: "line bytes", Got: maxLine + 1, Max: maxLine}
+		}
 		return nil, err
 	}
 	if n < 0 {
 		n = maxV + 1
 	}
 	if maxV >= n {
-		return nil, fmt.Errorf("graph: vertex %d exceeds declared n=%d", maxV, n)
+		return nil, &ParseError{Line: 0, Msg: fmt.Sprintf("vertex %d exceeds declared n=%d", maxV, n)}
 	}
 	b := NewBuilder(n)
 	for _, e := range edges {
 		if b.HasEdge(e[0], e[1]) {
-			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e[0], e[1])
+			return nil, &ParseError{Line: 0, Msg: fmt.Sprintf("duplicate edge (%d,%d)", e[0], e[1])}
 		}
 		b.AddEdge(e[0], e[1])
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -52,16 +53,66 @@ func TestEdgeListWithoutHeader(t *testing.T) {
 
 func TestEdgeListErrors(t *testing.T) {
 	for name, in := range map[string]string{
-		"self-loop":      "2 2\n",
-		"negative":       "-1 2\n",
-		"garbage":        "0 x\n",
-		"duplicate":      "0 1\n1 0\n",
-		"exceeds-header": "n 2\n0 5\n",
-		"bad-header":     "n x\n",
+		"self-loop":        "2 2\n",
+		"negative":         "-1 2\n",
+		"garbage":          "0 x\n",
+		"trailing-garbage": "0 1 2\n",
+		"duplicate":        "0 1\n1 0\n",
+		"exceeds-header":   "n 2\n0 5\n",
+		"bad-header":       "n x\n",
+		"negative-header":  "n -3\n0 1\n",
+		"double-header":    "n 5\nn 6\n0 1\n",
+		"overflow":         "0 99999999999999999999999999\n",
 	} {
-		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
 			t.Errorf("%s: accepted %q", name, in)
+			continue
 		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *ParseError", name, err)
+		}
+	}
+}
+
+// TestEdgeListLimits: the upload-path entry point rejects oversized input
+// with *LimitError before allocating proportionally to the claim.
+func TestEdgeListLimits(t *testing.T) {
+	lim := Limits{MaxVertices: 100, MaxEdges: 3, MaxLineBytes: 64}
+	cases := map[string]struct {
+		in   string
+		what string
+	}{
+		"header-vertices": {"n 101\n0 1\n", "vertices"},
+		"edge-vertices":   {"0 500\n", "vertices"},
+		"edges":           {"0 1\n0 2\n0 3\n0 4\n", "edges"},
+		"line-bytes":      {"# " + strings.Repeat("x", 200) + "\n0 1\n", "line bytes"},
+	}
+	for name, tc := range cases {
+		_, err := ReadEdgeListLimits(strings.NewReader(tc.in), lim)
+		var le *LimitError
+		if !errors.As(err, &le) {
+			t.Errorf("%s: want *LimitError, got %v", name, err)
+			continue
+		}
+		if le.What != tc.what {
+			t.Errorf("%s: exceeded %q, want %q", name, le.What, tc.what)
+		}
+	}
+
+	// Input inside every bound parses identically to the unlimited path.
+	ok := "n 100\n0 1\n0 2\n0 3\n"
+	g, err := ReadEdgeListLimits(strings.NewReader(ok), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != g2.N() || g.M() != g2.M() || g.Digest() != g2.Digest() {
+		t.Fatalf("limited parse differs from unlimited: %v vs %v", g, g2)
 	}
 }
 

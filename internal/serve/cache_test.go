@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraph"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	r := func(alg string) *JobResult { return &JobResult{Algorithm: alg} }
+	c.Put("a", r("a"))
+	c.Put("b", r("b"))
+	if _, ok := c.Get("a"); !ok { // touch a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", r("c")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		res, ok := c.Get(k)
+		if !ok || res.Algorithm != k {
+			t.Fatalf("%s: (%v, %v)", k, res, ok)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+
+	// Refreshing an existing key replaces in place, no eviction.
+	c.Put("a", r("a2"))
+	if res, _ := c.Get("a"); res.Algorithm != "a2" {
+		t.Fatal("refresh did not replace value")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len after refresh = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", &JobResult{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	st := NewStore(2)
+	rng := rand.New(rand.NewSource(1))
+	gs := make([]string, 3)
+	for i := range gs {
+		g := subgraph.GNP(10+i, 0.5, rng)
+		d, deduped := st.Put(g)
+		if deduped {
+			t.Fatalf("graph %d reported deduped", i)
+		}
+		gs[i] = d
+		if _, ok := st.Network(d); !ok {
+			t.Fatalf("graph %d has no network", i)
+		}
+	}
+	// Capacity 2: the first graph is gone, the last two remain.
+	if _, ok := st.Get(gs[0]); ok {
+		t.Fatal("oldest graph survived eviction")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("len = %d, want 2", st.Len())
+	}
+	// Re-inserting the evicted graph works and dedupes against nothing.
+	g := subgraph.GNP(10, 0.5, rand.New(rand.NewSource(1)))
+	if g.Digest() == gs[0] {
+		if _, deduped := st.Put(g); deduped {
+			t.Fatal("evicted graph still deduped")
+		}
+	}
+	// List is most recently used first.
+	l := st.List()
+	if len(l) != 2 {
+		t.Fatalf("list has %d entries", len(l))
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal typed client for the subgraphd HTTP API, shared by
+// the selfcheck harness, the load generator, and the tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient defaults to a client with a 30s request timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// do issues a request and decodes the JSON response into out (when
+// non-nil), returning the HTTP status.
+func (c *Client) do(method, path, contentType string, body []byte, out any) (int, error) {
+	req, err := http.NewRequest(method, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		// Error responses still decode (best effort): /healthz answers 503
+		// with a meaningful view while draining.
+		if err := json.Unmarshal(data, out); err != nil && resp.StatusCode < 300 {
+			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+		}
+	}
+	if resp.StatusCode >= 300 && out != nil {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (HealthView, int, error) {
+	var v HealthView
+	status, err := c.do("GET", "/healthz", "", nil, &v)
+	return v, status, err
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics() (MetricsView, error) {
+	var v MetricsView
+	_, err := c.do("GET", "/metrics", "", nil, &v)
+	return v, err
+}
+
+// UploadGraph uploads an edge-list document.
+func (c *Client) UploadGraph(edgeList string) (UploadView, error) {
+	var v UploadView
+	status, err := c.do("POST", "/v1/graphs", "text/plain", []byte(edgeList), &v)
+	if err == nil && status >= 300 {
+		err = fmt.Errorf("upload rejected with HTTP %d", status)
+	}
+	return v, err
+}
+
+// SubmitJob submits a job spec; the HTTP status is returned alongside the
+// view so callers can distinguish 200 (cache hit), 202 (queued), 429
+// (saturated), and 503 (draining).
+func (c *Client) SubmitJob(spec JobSpec) (JobView, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	var v JobView
+	status, err := c.do("POST", "/v1/jobs", "application/json", body, &v)
+	return v, status, err
+}
+
+// Job polls one job.
+func (c *Client) Job(id string) (JobView, error) {
+	var v JobView
+	status, err := c.do("GET", "/v1/jobs/"+id, "", nil, &v)
+	if err == nil && status != http.StatusOK {
+		err = fmt.Errorf("job %s: HTTP %d", id, status)
+	}
+	return v, err
+}
+
+// WaitJob polls until the job reaches a terminal state or the timeout
+// elapses.
+func (c *Client) WaitJob(id string, timeout time.Duration) (JobView, error) {
+	deadline := time.Now().Add(timeout)
+	delay := 2 * time.Millisecond
+	for {
+		v, err := c.Job(id)
+		if err != nil {
+			return v, err
+		}
+		if v.State == StateDone || v.State == StateFailed {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return v, fmt.Errorf("job %s still %s after %v", id, v.State, timeout)
+		}
+		time.Sleep(delay)
+		if delay < 50*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// Trace downloads a job's JSONL trace.
+func (c *Client) Trace(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace %s: HTTP %d", id, resp.StatusCode)
+	}
+	return data, nil
+}

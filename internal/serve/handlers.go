@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"subgraph/internal/graph"
+	"subgraph/internal/obs"
+)
+
+// apiError is a client-visible error with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func badRequest(msg string) *apiError { return &apiError{status: http.StatusBadRequest, msg: msg} }
+
+// UploadView is the wire response of a graph upload.
+type UploadView struct {
+	GraphInfo
+	// Deduped marks an upload whose content was already stored.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// HealthView is the wire response of /healthz.
+type HealthView struct {
+	Status   string `json:"status"` // "ok" | "draining"
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// MetricsView is the wire response of /metrics: server-level gauges plus
+// the full obs registry snapshot.
+type MetricsView struct {
+	UptimeMs     int64                `json:"uptime_ms"`
+	Workers      int                  `json:"workers"`
+	QueueDepth   int                  `json:"queue_depth"`
+	QueueCap     int                  `json:"queue_cap"`
+	Draining     bool                 `json:"draining"`
+	Graphs       int                  `json:"graphs"`
+	CacheEntries int                  `json:"cache_entries"`
+	Metrics      obs.RegistrySnapshot `json:"metrics"`
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphUpload)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	mux.HandleFunc("GET /v1/graphs/{digest}", s.handleGraphInfo)
+	mux.HandleFunc("GET /v1/graphs/{digest}/edgelist", s.handleGraphDownload)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	return mux
+}
+
+// writeJSON emits compact JSON: an indenting encoder would reformat the
+// json.RawMessage Stats inside job results and break the documented
+// byte-identity with library-side json.Marshal(Stats).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		// 503 tells orchestrators to stop routing while queued jobs finish.
+		writeJSON(w, http.StatusServiceUnavailable, HealthView{Status: "draining", Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthView{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsView{
+		UptimeMs:     time.Since(s.start).Milliseconds(),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		Draining:     s.Draining(),
+		Graphs:       s.store.Len(),
+		CacheEntries: s.cache.Len(),
+		Metrics:      s.reg.Snapshot(),
+	})
+}
+
+// parseUpload parses untrusted edge-list text under the server's limits,
+// mapping parse errors to 400 and limit errors to 413.
+func (s *Server) parseUpload(text string) (*graph.Graph, *apiError) {
+	g, err := graph.ReadEdgeListLimits(strings.NewReader(text), s.cfg.GraphLimits)
+	if err != nil {
+		var le *graph.LimitError
+		if errors.As(err, &le) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, msg: le.Error()}
+		}
+		return nil, badRequest(err.Error())
+	}
+	return g, nil
+}
+
+func (s *Server) countUpload(deduped bool) {
+	s.reg.Counter(MetricGraphUploads).Inc()
+	if deduped {
+		s.reg.Counter(MetricGraphDedups).Inc()
+	}
+}
+
+func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "reading upload: %v", err)
+		return
+	}
+	g, aerr := s.parseUpload(string(body))
+	if aerr != nil {
+		writeErr(w, aerr.status, "%s", aerr.msg)
+		return
+	}
+	digest, deduped := s.store.Put(g)
+	s.countUpload(deduped)
+	info, _ := s.store.Info(digest)
+	status := http.StatusCreated
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, UploadView{GraphInfo: info, Deduped: deduped})
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.store.List()})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.store.Info(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph digest %q", r.PathValue("digest"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleGraphDownload(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.store.Get(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph digest %q", r.PathValue("digest"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = graph.WriteEdgeList(w, g)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.reg.Counter(MetricJobsDraining).Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; submit elsewhere")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	s.reg.Counter(MetricJobsSubmitted).Inc()
+	j, aerr := s.prepare(spec)
+	if aerr != nil {
+		writeErr(w, aerr.status, "%s", aerr.msg)
+		return
+	}
+
+	// Cache lookup — traced jobs bypass it (their trace documents a real
+	// execution).
+	if !j.trace {
+		if res, ok := s.cache.Get(j.key); ok {
+			s.reg.Counter(MetricCacheHits).Inc()
+			j.mu.Lock()
+			j.state = StateDone
+			j.cached = true
+			j.result = res
+			j.mu.Unlock()
+			close(j.finished)
+			s.register(j)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+		s.reg.Counter(MetricCacheMisses).Inc()
+	}
+
+	// Register before enqueue: a worker may pick the job up (and even
+	// finish it) the instant it lands in the queue, and it must already be
+	// pollable by ID at that point. Rejected jobs are unregistered.
+	s.register(j)
+	queued, draining := s.enqueue(j)
+	switch {
+	case draining:
+		s.unregister(j.id)
+		s.reg.Counter(MetricJobsDraining).Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; submit elsewhere")
+		return
+	case !queued:
+		s.unregister(j.id)
+		s.reg.Counter(MetricJobsRejected).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"queue saturated (%d jobs); retry later", s.cfg.QueueDepth)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	trace := j.traceBytes
+	trunc := j.traceTrunc
+	state := j.state
+	j.mu.Unlock()
+	if len(trace) == 0 {
+		writeErr(w, http.StatusNotFound, "job %s has no trace (state %s; submit with \"trace\": true)",
+			j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if trunc {
+		w.Header().Set("X-Trace-Truncated", "true")
+	}
+	_, _ = w.Write(trace)
+}

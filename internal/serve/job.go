@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/obs"
+)
+
+// JobSpec is the wire form of a job submission (POST /v1/jobs).
+type JobSpec struct {
+	// Graph references a stored graph by digest. Exactly one of Graph and
+	// GraphInline must be set.
+	Graph string `json:"graph,omitempty"`
+	// GraphInline carries an edge-list document inline; it is stored
+	// (content-addressed, deduped) as if uploaded first.
+	GraphInline string `json:"graph_inline,omitempty"`
+	// Pattern is a subgraph.ParsePattern spec: triangle | cycle:L |
+	// clique:S | path:L | star:L.
+	Pattern string `json:"pattern"`
+	// Options tunes the run (seed, reps, faults, deadline_ms, ...).
+	Options subgraph.OptionsSpec `json:"options"`
+	// Trace requests a JSONL event trace, downloadable from
+	// /v1/jobs/{id}/trace once the job is done. Traced jobs are never
+	// answered from cache (the trace documents a real execution).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// JobResult is the wire form of a finished job's payload.
+type JobResult struct {
+	// Detected / Algorithm / Rounds / BandwidthBits mirror
+	// subgraph.Report.
+	Detected      bool   `json:"detected"`
+	Algorithm     string `json:"algorithm"`
+	Rounds        int    `json:"rounds"`
+	BandwidthBits int    `json:"bandwidth_bits"`
+	// Stats is the verbatim JSON encoding of the run's congest.Stats —
+	// byte-identical to json.Marshal of the Stats an equivalent library
+	// call returns (EXPERIMENTS.md pins this equivalence).
+	Stats json.RawMessage `json:"stats"`
+	// Report is the obs.Collector run report for the execution that
+	// produced this result (wall-clock fields describe that original run,
+	// also when the result is served from cache).
+	Report *obs.RunReport `json:"report,omitempty"`
+	// Partial marks a deadline-expired run returning partial Stats;
+	// AbortReason carries the abort error. Partial results are not cached.
+	Partial     bool   `json:"partial,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobView is the wire form of a job's status (GET /v1/jobs/{id}).
+type JobView struct {
+	ID      string               `json:"id"`
+	State   string               `json:"state"`
+	Graph   string               `json:"graph"`
+	Pattern string               `json:"pattern"`
+	Options subgraph.OptionsSpec `json:"options"`
+	// Cached marks a job answered from the result cache without an
+	// engine execution.
+	Cached bool `json:"cached,omitempty"`
+	// Result is set once State == done.
+	Result *JobResult `json:"result,omitempty"`
+	// Error is set once State == failed.
+	Error string `json:"error,omitempty"`
+	// Trace reports whether a JSONL trace is downloadable;
+	// TraceTruncated that it overflowed the server's buffer bound.
+	Trace          bool `json:"trace,omitempty"`
+	TraceTruncated bool `json:"trace_truncated,omitempty"`
+	// DurationMs is the execution wall time (done/failed jobs).
+	DurationMs int64 `json:"duration_ms,omitempty"`
+}
+
+// job is the server-side job record.
+type job struct {
+	id      string
+	digest  string // graph digest
+	pattern string // normalized pattern spec as submitted
+	g       *subgraph.Network
+	h       *subgraph.Graph
+	opts    subgraph.Options     // effective options (deadline capped)
+	optSpec subgraph.OptionsSpec // wire form of opts, for views
+	key     string               // cache key
+	trace   bool
+
+	mu         sync.Mutex
+	state      string
+	cached     bool
+	result     *JobResult
+	errMsg     string
+	traceBytes []byte
+	traceTrunc bool
+	durationMs int64
+
+	finished chan struct{} // closed on terminal state
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:             j.id,
+		State:          j.state,
+		Graph:          j.digest,
+		Pattern:        j.pattern,
+		Options:        j.optSpec,
+		Cached:         j.cached,
+		Result:         j.result,
+		Error:          j.errMsg,
+		Trace:          len(j.traceBytes) > 0,
+		TraceTruncated: j.traceTrunc,
+		DurationMs:     j.durationMs,
+	}
+}
+
+// prepare validates a spec against the server's stores and limits and
+// builds the executable job. It returns an *apiError for client mistakes.
+func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
+	if (spec.Graph == "") == (spec.GraphInline == "") {
+		return nil, badRequest("exactly one of \"graph\" (digest) and \"graph_inline\" (edge list) must be set")
+	}
+	h, err := subgraph.ParsePattern(spec.Pattern)
+	if err != nil {
+		return nil, badRequest(err.Error())
+	}
+	opts, err := spec.Options.Options()
+	if err != nil {
+		return nil, badRequest(err.Error())
+	}
+	// Server-side deadline cap: every job runs under the engine's
+	// wall-clock deadline machinery.
+	if opts.Deadline <= 0 || opts.Deadline > s.cfg.MaxJobDeadline {
+		opts.Deadline = s.cfg.MaxJobDeadline
+	}
+
+	digest := spec.Graph
+	if spec.GraphInline != "" {
+		if int64(len(spec.GraphInline)) > s.cfg.MaxUploadBytes {
+			return nil, &apiError{status: 413, msg: fmt.Sprintf(
+				"inline graph of %d bytes exceeds the %d byte upload bound",
+				len(spec.GraphInline), s.cfg.MaxUploadBytes)}
+		}
+		g, aerr := s.parseUpload(spec.GraphInline)
+		if aerr != nil {
+			return nil, aerr
+		}
+		var deduped bool
+		digest, deduped = s.store.Put(g)
+		s.countUpload(deduped)
+	}
+	nw, ok := s.network(digest)
+	if !ok {
+		return nil, &apiError{status: 404, msg: fmt.Sprintf("unknown graph digest %q (upload it first)", digest)}
+	}
+
+	// The cache key uses the *pattern graph's* digest, so aliases like
+	// "triangle" and "cycle:3" share entries, and the effective
+	// (deadline-capped) options, so identical executions are keyed
+	// identically however the deadline was written.
+	effective := subgraph.OptionsSpecOf(opts)
+	key := digest + "|" + h.Digest() + "|" + effective.Canonical()
+	return &job{
+		digest:   digest,
+		pattern:  spec.Pattern,
+		g:        nw,
+		h:        h,
+		opts:     opts,
+		optSpec:  effective,
+		key:      key,
+		trace:    spec.Trace,
+		state:    StateQueued,
+		finished: make(chan struct{}),
+	}, nil
+}
+
+// runJob executes one admitted job on a worker.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	started := time.Now()
+	collector := obs.NewCollector()
+	tracers := []obs.Tracer{collector}
+	var traceBuf *cappedWriter
+	var jsonl *obs.JSONLTracer
+	if j.trace {
+		traceBuf = &cappedWriter{max: s.cfg.MaxTraceBytes}
+		// OmitTimings keeps the trace deterministic in (graph, pattern,
+		// options, seed) — the same property the result cache relies on.
+		jsonl = obs.NewJSONLTracerOptions(traceBuf, obs.JSONLOptions{OmitTimings: true})
+		tracers = append(tracers, jsonl)
+	}
+	opts := j.opts
+	opts.Trace = obs.Multi(tracers...)
+
+	s.reg.Counter(MetricDetectRuns).Inc()
+	rep, err := subgraph.Detect(j.g, j.h, opts)
+	if jsonl != nil {
+		_ = jsonl.Close()
+	}
+
+	j.mu.Lock()
+	j.durationMs = time.Since(started).Milliseconds()
+	if traceBuf != nil {
+		j.traceBytes = traceBuf.buf
+		j.traceTrunc = traceBuf.truncated
+	}
+	switch {
+	case rep == nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.reg.Counter(MetricJobsFailed).Inc()
+	default:
+		statsJSON, merr := json.Marshal(rep.Stats)
+		if merr != nil {
+			j.state = StateFailed
+			j.errMsg = "encoding stats: " + merr.Error()
+			s.reg.Counter(MetricJobsFailed).Inc()
+			break
+		}
+		res := &JobResult{
+			Detected:      rep.Detected,
+			Algorithm:     rep.Algorithm,
+			Rounds:        rep.Rounds,
+			BandwidthBits: rep.BandwidthBits,
+			Stats:         statsJSON,
+			Report:        collector.Report(),
+		}
+		if err != nil {
+			res.Partial = true
+			res.AbortReason = err.Error()
+		}
+		j.state = StateDone
+		j.result = res
+		s.reg.Counter(MetricJobsCompleted).Inc()
+		s.reg.Histogram(HistJobWallNs, JobWallBuckets).
+			Observe(float64(time.Since(started).Nanoseconds()))
+		// Complete, fault-of-nothing runs are reusable; partial
+		// (deadline-shaped) results are not.
+		if !res.Partial {
+			s.cache.Put(j.key, res)
+		}
+	}
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// cappedWriter buffers writes up to max bytes and silently discards the
+// rest, recording that truncation happened.
+type cappedWriter struct {
+	buf       []byte
+	max       int
+	truncated bool
+}
+
+func (w *cappedWriter) Write(p []byte) (int, error) {
+	room := w.max - len(w.buf)
+	if room <= 0 {
+		w.truncated = true
+		return len(p), nil
+	}
+	if len(p) > room {
+		w.buf = append(w.buf, p[:room]...)
+		w.truncated = true
+		return len(p), nil
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// LoadGenConfig tunes the load harness.
+type LoadGenConfig struct {
+	// BaseURL targets a running server.
+	BaseURL string
+	// Jobs is the total number of jobs to replay (default 200).
+	Jobs int
+	// Concurrency is the number of client workers submitting and polling
+	// (default 8).
+	Concurrency int
+	// Seed drives the whole mix: graph generation, pattern choice, job
+	// seeds, and repetition — the same seed replays the same workload.
+	Seed int64
+	// Graphs is the number of distinct topologies in the mix (default 4).
+	Graphs int
+	// GraphN is the vertex count per topology (default 150).
+	GraphN int
+	// RepeatFraction is the probability a job repeats an earlier job
+	// verbatim, exercising the result cache (default 0.5).
+	RepeatFraction float64
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c LoadGenConfig) withDefaults() LoadGenConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Graphs <= 0 {
+		c.Graphs = 4
+	}
+	if c.GraphN <= 0 {
+		c.GraphN = 150
+	}
+	if c.RepeatFraction < 0 || c.RepeatFraction >= 1 {
+		c.RepeatFraction = 0.5
+	}
+	return c
+}
+
+// LoadGenResult aggregates a load run.
+type LoadGenResult struct {
+	Jobs        int     `json:"jobs"`
+	Errors      int     `json:"errors"`
+	Retried429  int     `json:"retried_429"`
+	WallNs      int64   `json:"wall_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	MeanNs      int64   `json:"mean_ns"`
+	P50Ns       int64   `json:"p50_ns"`
+	P90Ns       int64   `json:"p90_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRatePct  float64 `json:"cache_hit_rate_pct"`
+}
+
+// benchReport mirrors cmd/benchreport's JSON document so loadgen baselines
+// (BENCH_PR4.json) diff with the same tooling as the engine benchmarks.
+type benchReport struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Package    string           `json:"package"`
+	Benchtime  string           `json:"benchtime"`
+	Benchmarks []benchReportRow `json:"benchmarks"`
+}
+
+type benchReportRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport renders the result in cmd/benchreport's schema: latency
+// percentiles and end-to-end throughput as ns/op rows, the cache hit rate
+// as a percentage row.
+func (r *LoadGenResult) BenchReport() any {
+	perJob := float64(0)
+	if r.Jobs > 0 {
+		perJob = float64(r.WallNs) / float64(r.Jobs)
+	}
+	return &benchReport{
+		Schema:    "benchreport-v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Package:   "loadgen://subgraphd",
+		Benchtime: fmt.Sprintf("%d jobs", r.Jobs),
+		Benchmarks: []benchReportRow{
+			{Name: "ServeJobLatencyP50", NsPerOp: float64(r.P50Ns)},
+			{Name: "ServeJobLatencyP90", NsPerOp: float64(r.P90Ns)},
+			{Name: "ServeJobLatencyP99", NsPerOp: float64(r.P99Ns)},
+			{Name: "ServeJobLatencyMean", NsPerOp: float64(r.MeanNs)},
+			{Name: "ServeJobThroughput", NsPerOp: perJob},
+			{Name: "ServeCacheHitRatePct", NsPerOp: r.HitRatePct},
+		},
+	}
+}
+
+// RunLoadGen replays a seeded job mix against a running server and
+// measures end-to-end (submit → terminal poll) latency per job.
+func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Client{Base: cfg.BaseURL, HTTPClient: &http.Client{Timeout: 60 * time.Second}}
+
+	// Seeded topology mix: GNP backgrounds with planted triangles,
+	// 4-cycles, and 4-cliques so every pattern in the job mix has both
+	// positive and negative instances.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	digests := make([]string, 0, cfg.Graphs)
+	for i := 0; i < cfg.Graphs; i++ {
+		g := subgraph.GNP(cfg.GraphN, 1.2/float64(cfg.GraphN), rng)
+		switch i % 3 {
+		case 0:
+			g, _ = subgraph.PlantClique(g, 3, rng)
+		case 1:
+			g, _ = subgraph.PlantCycle(g, 4, rng)
+		case 2:
+			g, _ = subgraph.PlantClique(g, 4, rng)
+		}
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			return nil, err
+		}
+		up, err := c.UploadGraph(buf.String())
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: uploading graph %d: %w", i, err)
+		}
+		digests = append(digests, up.Digest)
+	}
+	logf("uploaded %d graphs (n=%d each)", len(digests), cfg.GraphN)
+
+	patterns := []string{"triangle", "cycle:4", "clique:4", "path:4", "star:3"}
+	specs := make([]JobSpec, cfg.Jobs)
+	for i := range specs {
+		if i > 0 && rng.Float64() < cfg.RepeatFraction {
+			specs[i] = specs[rng.Intn(i)] // verbatim repeat → cache exercise
+			continue
+		}
+		specs[i] = JobSpec{
+			Graph:   digests[rng.Intn(len(digests))],
+			Pattern: patterns[rng.Intn(len(patterns))],
+			Options: subgraph.OptionsSpec{Seed: int64(rng.Intn(16))},
+		}
+	}
+
+	before, err := c.Metrics()
+	if err != nil {
+		return nil, err
+	}
+
+	latencies := make([]int64, cfg.Jobs)
+	var errs, retried int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				var jv JobView
+				var status int
+				var err error
+				for attempt := 0; ; attempt++ {
+					jv, status, err = c.SubmitJob(specs[i])
+					if status != http.StatusTooManyRequests || attempt >= 50 {
+						break
+					}
+					mu.Lock()
+					retried++
+					mu.Unlock()
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err != nil || (status != http.StatusOK && status != http.StatusAccepted) {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				if jv.State != StateDone && jv.State != StateFailed {
+					jv, err = c.WaitJob(jv.ID, 60*time.Second)
+				}
+				if err != nil || jv.State != StateDone {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				latencies[i] = time.Since(t0).Nanoseconds()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := c.Metrics()
+	if err != nil {
+		return nil, err
+	}
+
+	ok := latencies[:0]
+	for _, l := range latencies {
+		if l > 0 {
+			ok = append(ok, l)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	res := &LoadGenResult{
+		Jobs:       len(ok),
+		Errors:     int(errs),
+		Retried429: int(retried),
+		WallNs:     wall.Nanoseconds(),
+	}
+	if len(ok) > 0 {
+		var sum int64
+		for _, l := range ok {
+			sum += l
+		}
+		res.MeanNs = sum / int64(len(ok))
+		res.P50Ns = percentile(ok, 50)
+		res.P90Ns = percentile(ok, 90)
+		res.P99Ns = percentile(ok, 99)
+		res.JobsPerSec = float64(len(ok)) / wall.Seconds()
+	}
+	res.CacheHits = after.Metrics.Counters[MetricCacheHits] - before.Metrics.Counters[MetricCacheHits]
+	res.CacheMisses = after.Metrics.Counters[MetricCacheMisses] - before.Metrics.Counters[MetricCacheMisses]
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.HitRatePct = 100 * float64(res.CacheHits) / float64(total)
+	}
+	logf("replayed %d jobs in %v: %.1f jobs/s, p50 %v, p99 %v, cache hit rate %.1f%%, %d errors",
+		res.Jobs, wall.Round(time.Millisecond), res.JobsPerSec,
+		time.Duration(res.P50Ns).Round(time.Microsecond),
+		time.Duration(res.P99Ns).Round(time.Microsecond), res.HitRatePct, res.Errors)
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

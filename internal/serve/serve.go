@@ -1,0 +1,315 @@
+// Package serve is the detection-as-a-service layer: a long-running job
+// daemon that accepts subgraph-detection jobs over HTTP/JSON, executes
+// them on a bounded shared worker budget, and returns results with the
+// full Stats / RunReport payloads the library produces.
+//
+// Building blocks:
+//
+//   - a content-addressed graph store (Store): uploads are deduped by
+//     graph.Digest(), and jobs reference graphs by digest, so many small
+//     queries against a shared topology upload it once and share one
+//     *congest.Network (safe: concurrent Runs on one Network are part of
+//     the simulator's documented contract, pinned by a -race test);
+//   - an LRU result cache (Cache) keyed by (graph digest, pattern digest,
+//     canonical options): the simulator is deterministic in that key, so
+//     a repeated job is answered without re-running the engine, with
+//     hit/miss counters exported through the obs metrics registry;
+//   - admission control: a bounded queue and a fixed worker budget; a
+//     full queue answers 429 with Retry-After, and a draining server
+//     (SIGTERM) answers 503 while in-flight and queued jobs finish;
+//   - per-job wall-clock deadlines reusing the congest engine's deadline
+//     machinery, with a server-side cap so a hostile job cannot occupy a
+//     worker forever.
+//
+// The HTTP surface is in handlers.go, the job lifecycle in job.go, and
+// the load harness in loadgen.go.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/graph"
+	"subgraph/internal/obs"
+)
+
+// Metric names exported through the server's obs.Registry (the /metrics
+// endpoint serves a snapshot).
+const (
+	MetricJobsSubmitted = "serve_jobs_submitted_total"
+	MetricJobsCompleted = "serve_jobs_completed_total"
+	MetricJobsFailed    = "serve_jobs_failed_total"
+	MetricJobsRejected  = "serve_jobs_rejected_total" // 429: queue full
+	MetricJobsDraining  = "serve_jobs_draining_total" // 503: draining
+	MetricCacheHits     = "serve_cache_hits_total"
+	MetricCacheMisses   = "serve_cache_misses_total"
+	MetricDetectRuns    = "serve_detect_runs_total" // engine executions (≠ hits)
+	MetricGraphUploads  = "serve_graphs_uploaded_total"
+	MetricGraphDedups   = "serve_graphs_deduped_total"
+	GaugeQueueDepth     = "serve_queue_depth"
+	HistJobWallNs       = "serve_job_wall_ns"
+)
+
+// JobWallBuckets are the job-latency histogram bounds (powers of four,
+// 0.25ms .. ~4.4min).
+var JobWallBuckets = []float64{
+	250e3, 1e6, 4e6, 16e6, 64e6, 256e6, 1.024e9, 4.096e9, 16.384e9, 65.536e9, 262.144e9,
+}
+
+// Config tunes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the shared worker budget executing jobs (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue; a submit finding it full is
+	// answered 429 (default 64).
+	QueueDepth int
+	// CacheSize bounds the LRU result cache, in entries (default 512;
+	// negative disables caching).
+	CacheSize int
+	// MaxGraphs bounds the content-addressed store, in graphs; the least
+	// recently used graph is evicted when full (default 128).
+	MaxGraphs int
+	// MaxUploadBytes bounds an uploaded edge list's size (default 32 MiB).
+	MaxUploadBytes int64
+	// GraphLimits bounds what the upload parser accepts (defaults:
+	// 2,000,000 vertices, 8,000,000 edges).
+	GraphLimits graph.Limits
+	// MaxJobDeadline caps — and, when a job specifies none, sets — the
+	// per-job wall-clock deadline (default 60s). Every job therefore runs
+	// under the congest engine's deadline machinery.
+	MaxJobDeadline time.Duration
+	// MaxRetainedJobs bounds the finished-job history kept for polling
+	// (default 4096; oldest terminal jobs are evicted first).
+	MaxRetainedJobs int
+	// MaxTraceBytes bounds a per-job JSONL trace buffer (default 4 MiB;
+	// overflowing traces are truncated and flagged).
+	MaxTraceBytes int
+	// Registry receives the server's metrics; a fresh one is created when
+	// nil (callers embedding the server in a larger process can share one).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 128
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	if c.GraphLimits.MaxVertices <= 0 {
+		c.GraphLimits.MaxVertices = 2_000_000
+	}
+	if c.GraphLimits.MaxEdges <= 0 {
+		c.GraphLimits.MaxEdges = 8_000_000
+	}
+	if c.MaxJobDeadline <= 0 {
+		c.MaxJobDeadline = 60 * time.Second
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 4096
+	}
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = 4 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the job daemon. Create with New, attach Handler() to an HTTP
+// listener, and call Start to launch the worker budget.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *Store
+	cache *Cache
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for retention eviction
+	seq      int
+	draining bool
+	queue    chan *job
+
+	wg sync.WaitGroup
+
+	// holdJobs, when non-nil, makes every worker block before executing a
+	// job until a value is received — the deterministic saturation /
+	// drain-ordering hook used by tests.
+	holdJobs chan struct{}
+}
+
+// New builds a Server (workers not yet started).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		store: NewStore(cfg.MaxGraphs),
+		cache: NewCache(cfg.CacheSize),
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	// Pre-create the counters and histogram so /metrics carries the full
+	// schema before the first job.
+	for _, name := range []string{
+		MetricJobsSubmitted, MetricJobsCompleted, MetricJobsFailed,
+		MetricJobsRejected, MetricJobsDraining, MetricCacheHits,
+		MetricCacheMisses, MetricDetectRuns, MetricGraphUploads,
+		MetricGraphDedups,
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge(GaugeQueueDepth)
+	s.reg.Histogram(HistJobWallNs, JobWallBuckets)
+	return s
+}
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start launches the worker budget.
+func (s *Server) Start() {
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				if s.holdJobs != nil {
+					<-s.holdJobs
+				}
+				s.runJob(j)
+				s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
+			}
+		}()
+	}
+}
+
+// BeginDrain flips the server into draining mode: new submissions are
+// rejected with 503 while queued and in-flight jobs keep executing.
+// Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	// Safe: every sender holds s.mu around its non-blocking send.
+	close(s.queue)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain begins draining and blocks until every admitted job has finished
+// or ctx is done. Counts of jobs completed since startup are returned for
+// the operator log line.
+func (s *Server) Drain(ctx context.Context) (completed int64, err error) {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.reg.Counter(MetricJobsCompleted).Value(), nil
+	case <-ctx.Done():
+		return s.reg.Counter(MetricJobsCompleted).Value(),
+			fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+	}
+}
+
+// enqueue admits j to the bounded queue. It returns (queued, draining):
+// draining=true means the server is shutting down (503), queued=false
+// with draining=false means the queue is saturated (429).
+func (s *Server) enqueue(j *job) (queued, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// register assigns an ID, records the job for polling, and evicts the
+// oldest terminal jobs beyond the retention bound.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j.id = fmt.Sprintf("j-%06d", s.seq)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.MaxRetainedJobs {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			if old == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if old.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live: retention is a soft bound
+		}
+	}
+}
+
+// unregister drops a job that was never admitted (queue rejection).
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, x := range s.order {
+		if x == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// jobByID returns the tracked job, or nil.
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Network returns the shared simulation network for a stored graph.
+func (s *Server) network(digest string) (*subgraph.Network, bool) {
+	return s.store.Network(digest)
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// GraphInfo is the wire description of a stored graph.
+type GraphInfo struct {
+	Digest string `json:"digest"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+}
+
+// Store is the content-addressed graph store: graphs are keyed by their
+// canonical digest (graph.Digest()), so repeated uploads of the same edge
+// list dedupe to one entry, and jobs reference graphs by digest. Each
+// entry also carries the shared *congest.Network for the graph — built
+// once, reused by every job on the topology (concurrent Runs on one
+// Network are safe; the identifier assignment is the identity, exactly
+// what subgraph.NewNetwork gives a CLI run, so server and CLI executions
+// are comparable bit for bit).
+//
+// The store is LRU-bounded: inserting beyond the cap evicts the least
+// recently *used* graph (uploads and job submissions both touch). Jobs
+// referencing an evicted digest get 404 and re-upload.
+type Store struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	byHash map[string]*list.Element
+}
+
+type storedGraph struct {
+	info GraphInfo
+	g    *graph.Graph
+	nw   *subgraph.Network
+}
+
+// NewStore returns a store bounded to max graphs (max ≥ 1).
+func NewStore(max int) *Store {
+	if max < 1 {
+		max = 1
+	}
+	return &Store{max: max, ll: list.New(), byHash: make(map[string]*list.Element)}
+}
+
+// Put inserts g, returning its digest and whether an identical graph was
+// already stored (deduped).
+func (s *Store) Put(g *graph.Graph) (digest string, deduped bool) {
+	digest = g.Digest()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byHash[digest]; ok {
+		s.ll.MoveToFront(el)
+		return digest, true
+	}
+	el := s.ll.PushFront(&storedGraph{
+		info: GraphInfo{Digest: digest, N: g.N(), M: g.M()},
+		g:    g,
+		nw:   subgraph.NewNetwork(g),
+	})
+	s.byHash[digest] = el
+	for s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byHash, oldest.Value.(*storedGraph).info.Digest)
+	}
+	return digest, false
+}
+
+// Get returns the stored graph for digest, touching its recency.
+func (s *Store) Get(digest string) (*graph.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byHash[digest]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*storedGraph).g, true
+	}
+	return nil, false
+}
+
+// Network returns the shared simulation network for digest, touching its
+// recency.
+func (s *Store) Network(digest string) (*subgraph.Network, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byHash[digest]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*storedGraph).nw, true
+	}
+	return nil, false
+}
+
+// Info returns the stored graph's description without touching recency.
+func (s *Store) Info(digest string) (GraphInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byHash[digest]; ok {
+		return el.Value.(*storedGraph).info, true
+	}
+	return GraphInfo{}, false
+}
+
+// List returns descriptions of every stored graph, most recently used
+// first.
+func (s *Store) List() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storedGraph).info)
+	}
+	return out
+}
+
+// Len returns the number of stored graphs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare experiments experiments-quick examples serve smoke loadgen-report clean
+.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report clean
 
 all: build test
 
@@ -27,6 +27,12 @@ bench-report:
 # Measure now and print a delta table against the committed baseline.
 bench-compare:
 	$(GO) run ./cmd/benchreport -compare BENCH_PR3.json
+
+# Differential/metamorphic battery: 500 seeded random cases checked
+# against every oracle, failures shrunk to replayable repro artifacts
+# under diffcheck-artifacts/ (see README "Correctness").
+diffcheck:
+	$(GO) run ./cmd/diffcheck -cases 500 -seed 1
 
 # Regenerate every EXPERIMENTS.md table (minutes).
 experiments:

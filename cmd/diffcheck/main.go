@@ -1,0 +1,99 @@
+// Command diffcheck runs the differential/metamorphic correctness
+// harness: seeded random (graph, pattern, options, fault-plan) cases
+// checked against an oracle battery — engine equality, split-execution
+// equality, VF2 ground truth, daemon round-trips, metamorphic relations —
+// with failing cases shrunk to replayable JSON repro artifacts.
+//
+//	diffcheck -cases 500 -seed 1                 # run the battery
+//	diffcheck -oracle engine-equality,ground-truth
+//	diffcheck -replay artifacts/repro.json       # re-execute a repro
+//	diffcheck -list                              # show the battery
+//
+// Exit status: 0 clean, 1 discrepancies found (or a replayed repro still
+// failing), 2 usage or harness error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"subgraph/internal/diffcheck"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		cases     = flag.Int("cases", 200, "random cases to generate")
+		seed      = flag.Int64("seed", 1, "generator seed (same seed = same battery)")
+		artifacts = flag.String("artifacts", "diffcheck-artifacts", "directory for repro artifacts (empty disables)")
+		oracle    = flag.String("oracle", "", "comma-separated oracle filter (default: all)")
+		replay    = flag.String("replay", "", "re-execute the repro artifact at this path and exit")
+		list      = flag.Bool("list", false, "list the oracle battery and exit")
+		verbose   = flag.Bool("v", false, "log every failing case as it is found")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, o := range diffcheck.Oracles() {
+			fmt.Printf("%-22s %s\n", o.Name, o.Doc)
+		}
+		return 0
+	}
+
+	if *replay != "" {
+		if err := diffcheck.Replay(*replay); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: REPRODUCED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("diffcheck: %s replays clean (the recorded discrepancy no longer occurs)\n", *replay)
+		return 0
+	}
+
+	opt := diffcheck.Options{
+		Cases:       *cases,
+		Seed:        *seed,
+		ArtifactDir: *artifacts,
+	}
+	if *oracle != "" {
+		opt.Oracles = strings.Split(*oracle, ",")
+	}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "diffcheck: "+format+"\n", args...)
+		}
+	}
+
+	sum, err := diffcheck.Run(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(sum.PerOracle))
+	for name := range sum.PerOracle {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("diffcheck: %d cases, %d oracle checks (seed %d)\n", sum.Cases, sum.Checks, *seed)
+	for _, name := range names {
+		fmt.Printf("  %-22s %5d checks\n", name, sum.PerOracle[name])
+	}
+	if sum.OK() {
+		fmt.Println("diffcheck: all oracles passed")
+		return 0
+	}
+	fmt.Printf("diffcheck: %d DISCREPANCIES\n", len(sum.Failures))
+	for _, f := range sum.Failures {
+		fmt.Printf("  case %d, oracle %s: %s\n", f.CaseIndex, f.Artifact.Oracle, f.Artifact.Detail)
+		if f.Path != "" {
+			fmt.Printf("    repro: %s (replay with: diffcheck -replay %s)\n", f.Path, f.Path)
+		}
+	}
+	return 1
+}

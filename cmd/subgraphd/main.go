@@ -40,7 +40,7 @@ func run() int {
 		portFile     = flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
 		workers      = flag.Int("workers", 2, "worker goroutines executing jobs")
 		queue        = flag.Int("queue", 64, "admission queue depth (a full queue answers 429)")
-		cacheSize    = flag.Int("cache", 512, "result cache entries (0 = default, negative disables)")
+		cacheSize    = flag.Int("cache", 512, "result cache entries (0 or negative disables caching)")
 		maxGraphs    = flag.Int("max-graphs", 128, "graphs retained in the content-addressed store (LRU)")
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock deadline cap")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
@@ -60,10 +60,19 @@ func run() int {
 	flag.Parse()
 	logger := log.New(os.Stderr, "subgraphd: ", log.LstdFlags)
 
+	// The flag's 0 means "disable caching"; Config's zero value means
+	// "take the 512 default" (struct zero values cannot tell unset from
+	// an explicit 0), so an operator's -cache 0 is translated to the
+	// Config's negative disable sentinel rather than silently becoming
+	// the default.
+	effCache := *cacheSize
+	if effCache <= 0 {
+		effCache = -1
+	}
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
+		CacheSize:      effCache,
 		MaxGraphs:      *maxGraphs,
 		MaxJobDeadline: *maxDeadline,
 	}

@@ -1,0 +1,113 @@
+package congest
+
+import (
+	"fmt"
+)
+
+// Cross-execution comparators. The repository carries three execution
+// paths that must agree bit-for-bit — the sequential engine, the parallel
+// engine, and the two-party split runner — plus a daemon that re-serves
+// library results. These helpers report the FIRST discrepancy between two
+// runs as a human-readable description (empty string = equal), which is
+// what the differential harness (internal/diffcheck) records in its repro
+// artifacts: "Stats differ" is useless in a bug report, "round 7: message 3
+// payload 0101 vs 0111" pins the divergence.
+
+// DiffStats compares two Stats field by field and describes the first
+// difference, or returns "" when they are identical (including the
+// per-round and per-node breakdowns).
+func DiffStats(a, b Stats) string {
+	switch {
+	case a.Rounds != b.Rounds:
+		return fmt.Sprintf("Rounds %d vs %d", a.Rounds, b.Rounds)
+	case a.TotalBits != b.TotalBits:
+		return fmt.Sprintf("TotalBits %d vs %d", a.TotalBits, b.TotalBits)
+	case a.TotalMessages != b.TotalMessages:
+		return fmt.Sprintf("TotalMessages %d vs %d", a.TotalMessages, b.TotalMessages)
+	case a.MaxEdgeBitsRound != b.MaxEdgeBitsRound:
+		return fmt.Sprintf("MaxEdgeBitsRound %d vs %d", a.MaxEdgeBitsRound, b.MaxEdgeBitsRound)
+	case a.DroppedMessages != b.DroppedMessages:
+		return fmt.Sprintf("DroppedMessages %d vs %d", a.DroppedMessages, b.DroppedMessages)
+	case a.CorruptedMessages != b.CorruptedMessages:
+		return fmt.Sprintf("CorruptedMessages %d vs %d", a.CorruptedMessages, b.CorruptedMessages)
+	case a.CorruptedBits != b.CorruptedBits:
+		return fmt.Sprintf("CorruptedBits %d vs %d", a.CorruptedBits, b.CorruptedBits)
+	case a.CrashedNodes != b.CrashedNodes:
+		return fmt.Sprintf("CrashedNodes %d vs %d", a.CrashedNodes, b.CrashedNodes)
+	}
+	if len(a.PerRoundBits) != len(b.PerRoundBits) {
+		return fmt.Sprintf("PerRoundBits length %d vs %d", len(a.PerRoundBits), len(b.PerRoundBits))
+	}
+	for r := range a.PerRoundBits {
+		if a.PerRoundBits[r] != b.PerRoundBits[r] {
+			return fmt.Sprintf("PerRoundBits[%d] %d vs %d", r, a.PerRoundBits[r], b.PerRoundBits[r])
+		}
+	}
+	if len(a.PerNodeBits) != len(b.PerNodeBits) {
+		return fmt.Sprintf("PerNodeBits length %d vs %d", len(a.PerNodeBits), len(b.PerNodeBits))
+	}
+	for v := range a.PerNodeBits {
+		if a.PerNodeBits[v] != b.PerNodeBits[v] {
+			return fmt.Sprintf("PerNodeBits[%d] %d vs %d", v, a.PerNodeBits[v], b.PerNodeBits[v])
+		}
+	}
+	return ""
+}
+
+// DiffTranscripts compares two recorded transcripts message by message in
+// delivery order — sender, recipient, payload bits, and fault tag — and
+// describes the first difference, or returns "" when they are identical.
+// Two nil transcripts are equal; nil vs recorded is a difference.
+func DiffTranscripts(a, b *Transcript) string {
+	switch {
+	case a == nil && b == nil:
+		return ""
+	case a == nil || b == nil:
+		return fmt.Sprintf("transcript recorded %v vs %v", a != nil, b != nil)
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		return fmt.Sprintf("transcript rounds %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for r := range a.Rounds {
+		ra, rb := a.Rounds[r], b.Rounds[r]
+		if len(ra) != len(rb) {
+			return fmt.Sprintf("round %d: %d vs %d messages", r+1, len(ra), len(rb))
+		}
+		for i := range ra {
+			ma, mb := ra[i], rb[i]
+			switch {
+			case ma.From != mb.From || ma.To != mb.To:
+				return fmt.Sprintf("round %d message %d: edge %d→%d vs %d→%d",
+					r+1, i, ma.From, ma.To, mb.From, mb.To)
+			case ma.Fault != mb.Fault:
+				return fmt.Sprintf("round %d message %d (%d→%d): fault %s vs %s",
+					r+1, i, ma.From, ma.To, ma.Fault, mb.Fault)
+			case !ma.Payload.Equal(mb.Payload):
+				return fmt.Sprintf("round %d message %d (%d→%d): payload %s vs %s",
+					r+1, i, ma.From, ma.To, ma.Payload, mb.Payload)
+			}
+		}
+	}
+	return ""
+}
+
+// DiffResults compares two full run Results — decisions, Stats, and (when
+// both recorded one) transcripts — and describes the first difference, or
+// returns "" when the executions are indistinguishable.
+func DiffResults(a, b *Result) string {
+	if len(a.Decisions) != len(b.Decisions) {
+		return fmt.Sprintf("decision count %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for v := range a.Decisions {
+		if a.Decisions[v] != b.Decisions[v] {
+			return fmt.Sprintf("vertex %d decision %s vs %s", v, a.Decisions[v], b.Decisions[v])
+		}
+	}
+	if d := DiffStats(a.Stats, b.Stats); d != "" {
+		return "stats: " + d
+	}
+	if d := DiffTranscripts(a.Transcript, b.Transcript); d != "" {
+		return "transcript: " + d
+	}
+	return ""
+}

@@ -86,11 +86,14 @@ type FaultPlan struct {
 	// DropRate is the per-message Bernoulli drop probability in [0,1].
 	DropRate float64
 	// CorruptRate is the per-message Bernoulli corruption probability in
-	// [0,1]; a corrupted message has CorruptFlips uniformly random payload
-	// bits flipped. Empty payloads are never corrupted.
+	// [0,1]; a corrupted message has CorruptFlips distinct uniformly random
+	// payload bits flipped. Empty payloads are never corrupted.
 	CorruptRate float64
 	// CorruptFlips is the number of bit flips per corrupted message
-	// (default 1).
+	// (default 1). Flip positions are sampled without replacement, so a
+	// corrupted payload differs from the original in exactly
+	// min(CorruptFlips, payload length) bits — the count reported in
+	// Stats.CorruptedBits.
 	CorruptFlips int
 	// Drops lists targeted per-edge per-round drops.
 	Drops []TargetedDrop
@@ -146,6 +149,20 @@ type planAdversary struct {
 	rng      *rand.Rand
 	targeted map[[3]int]struct{}
 	crashAt  map[int]int // vertex → earliest crash round
+
+	// Per-round throttle-cap cache: the tightest window covering a round
+	// is a pure function of the round number, so it is computed once per
+	// round (on the first Deliver of that round) instead of rescanning
+	// every window for every message. capRound is the round the cached
+	// values describe (0 = nothing cached yet; rounds are 1-based).
+	capRound int
+	capBits  int
+	capOn    bool
+	capScans int // recomputations, pinned by the O(1)-per-message test
+
+	// Scratch for corruptPayload, reused across messages.
+	flipIdx  []int
+	flipMark []bool
 }
 
 // NewPlanAdversary compiles a declarative plan into a deterministic
@@ -178,14 +195,21 @@ func (a *planAdversary) Crashed(round, v int) bool {
 }
 
 // throttleCap returns the tightest delivery cap covering round, if any.
+// The scan over the plan's windows runs at most once per round; every
+// further message of the same round is answered from the cached values,
+// keeping Deliver O(1) per message however many windows the plan holds.
 func (a *planAdversary) throttleCap(round int) (int, bool) {
-	cap, ok := 0, false
-	for _, t := range a.plan.Throttles {
-		if round >= t.FromRound && round <= t.ToRound && (!ok || t.Bits < cap) {
-			cap, ok = t.Bits, true
+	if round != a.capRound {
+		a.capRound = round
+		a.capBits, a.capOn = 0, false
+		a.capScans++
+		for _, t := range a.plan.Throttles {
+			if round >= t.FromRound && round <= t.ToRound && (!a.capOn || t.Bits < a.capBits) {
+				a.capBits, a.capOn = t.Bits, true
+			}
 		}
 	}
-	return cap, ok
+	return a.capBits, a.capOn
 }
 
 func (a *planAdversary) Deliver(round, fromV, toV, deliveredBits int, payload bitio.BitString) (bitio.BitString, FaultTag, int) {
@@ -199,24 +223,47 @@ func (a *planAdversary) Deliver(round, fromV, toV, deliveredBits int, payload bi
 		return payload, FaultDropped, 0
 	}
 	if a.plan.CorruptRate > 0 && payload.Len() > 0 && a.rng.Float64() < a.plan.CorruptRate {
-		out := payload
-		for i := 0; i < a.plan.CorruptFlips; i++ {
-			out = flipBit(out, a.rng.Intn(out.Len()))
-		}
-		return out, FaultCorrupted, a.plan.CorruptFlips
+		out, flipped := a.corruptPayload(payload)
+		return out, FaultCorrupted, flipped
 	}
 	return payload, FaultNone, 0
 }
 
-// flipBit returns a copy of s with bit i inverted.
-func flipBit(s bitio.BitString, i int) bitio.BitString {
+// corruptPayload flips min(CorruptFlips, len) DISTINCT bit positions of s,
+// sampled by a partial Fisher–Yates shuffle, and returns the corrupted
+// payload with the true flip count. Sampling without replacement matters
+// for the accounting contract: drawing positions independently could pick
+// the same bit twice, so the flips would cancel and the message would be
+// reported as corrupted with more flipped bits than actually differ. The
+// rewrite is a single pass over the payload (O(len + flips)) instead of
+// one full copy per flip (O(len · flips)).
+func (a *planAdversary) corruptPayload(s bitio.BitString) (bitio.BitString, int) {
+	L := s.Len()
+	k := a.plan.CorruptFlips
+	if k > L {
+		k = L
+	}
+	if cap(a.flipIdx) < L {
+		a.flipIdx = make([]int, L)
+		a.flipMark = make([]bool, L)
+	}
+	idx, mark := a.flipIdx[:L], a.flipMark[:L]
+	for i := range idx {
+		idx[i] = i
+		mark[i] = false
+	}
+	for i := 0; i < k; i++ {
+		j := i + a.rng.Intn(L-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		mark[idx[i]] = true
+	}
 	w := bitio.NewWriter()
-	for j := 0; j < s.Len(); j++ {
-		b := s.Bit(j)
-		if j == i {
+	for i := 0; i < L; i++ {
+		b := s.Bit(i)
+		if mark[i] {
 			b ^= 1
 		}
 		w.WriteBit(b)
 	}
-	return w.BitString()
+	return w.BitString(), k
 }

@@ -1,0 +1,184 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/graph"
+)
+
+// countingAdversary wraps an inner Adversary and independently measures,
+// for every corrupted delivery, how many bits the delivered payload
+// actually differs from the sent one — the ground truth the reported
+// flip counts (and hence Stats.CorruptedBits) must match.
+type countingAdversary struct {
+	inner         Adversary
+	corrupted     int64
+	reportedFlips int64
+	actualFlips   int64
+	perMessageErr error
+}
+
+func (c *countingAdversary) Crashed(round, v int) bool { return c.inner.Crashed(round, v) }
+
+func (c *countingAdversary) Deliver(round, fromV, toV, deliveredBits int, payload bitio.BitString) (bitio.BitString, FaultTag, int) {
+	out, tag, flips := c.inner.Deliver(round, fromV, toV, deliveredBits, payload)
+	if tag == FaultCorrupted {
+		c.corrupted++
+		c.reportedFlips += int64(flips)
+		actual := 0
+		for i := 0; i < payload.Len(); i++ {
+			if payload.Bit(i) != out.Bit(i) {
+				actual++
+			}
+		}
+		c.actualFlips += int64(actual)
+		if c.perMessageErr == nil {
+			want := c.inner.(*planAdversary).plan.CorruptFlips
+			if want > payload.Len() {
+				want = payload.Len()
+			}
+			if actual != want {
+				c.perMessageErr = fmt.Errorf(
+					"corrupted %d-bit payload differs in %d bits, want min(CorruptFlips, len) = %d",
+					payload.Len(), actual, want)
+			}
+		}
+	}
+	return out, tag, flips
+}
+
+// TestCorruptionAccountingMatchesActualFlips pins the accounting
+// contract: every corrupted delivery differs from the sent payload in
+// exactly min(CorruptFlips, len) bits (flip positions are sampled without
+// replacement, so flips cannot cancel), and Stats.CorruptedBits equals
+// the measured sent/delivered difference. Short payloads with a large
+// CorruptFlips are the regime where with-replacement sampling used to
+// pick duplicate positions, cancel flips, and over-report.
+func TestCorruptionAccountingMatchesActualFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Complete(6)
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			if env.Round() <= 4 {
+				for port := 0; port < env.Degree(); port++ {
+					width := 1 + env.Rand().Intn(12)
+					value := env.Rand().Uint64() & (1<<uint(width) - 1)
+					env.SendPort(port, bitio.Uint(value, width))
+				}
+				return
+			}
+			env.Halt()
+		}}
+	}
+	for trial := 0; trial < 10; trial++ {
+		plan := FaultPlan{
+			Seed:         rng.Int63(),
+			CorruptRate:  1,
+			CorruptFlips: 1 + rng.Intn(16), // often > payload length
+		}
+		rec := &countingAdversary{inner: NewPlanAdversary(plan)}
+		res, err := Run(NewNetwork(g), factory, Config{
+			B: 16, MaxRounds: 8, Seed: rng.Int63(), Adversary: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.perMessageErr != nil {
+			t.Fatalf("trial %d (flips=%d): %v", trial, plan.CorruptFlips, rec.perMessageErr)
+		}
+		if rec.corrupted == 0 {
+			t.Fatalf("trial %d: no messages corrupted at CorruptRate=1", trial)
+		}
+		if rec.reportedFlips != rec.actualFlips {
+			t.Fatalf("trial %d: adversary reported %d flips but payloads differ in %d bits",
+				trial, rec.reportedFlips, rec.actualFlips)
+		}
+		if res.Stats.CorruptedBits != rec.actualFlips {
+			t.Fatalf("trial %d: Stats.CorruptedBits = %d, actual differing bits = %d",
+				trial, res.Stats.CorruptedBits, rec.actualFlips)
+		}
+		if res.Stats.CorruptedMessages != rec.corrupted {
+			t.Fatalf("trial %d: Stats.CorruptedMessages = %d, adversary corrupted %d",
+				trial, res.Stats.CorruptedMessages, rec.corrupted)
+		}
+	}
+}
+
+// TestCorruptFlipsCappedAtPayloadLength pins the boundary directly: a
+// 4-bit payload under CorruptFlips=64 is delivered with all 4 bits
+// inverted and accounted as 4 flipped bits.
+func TestCorruptFlipsCappedAtPayloadLength(t *testing.T) {
+	g := graph.Path(2)
+	sent := bitio.Uint(0b1010, 4)
+	var got bitio.BitString
+	factory := func() Node {
+		return &FuncNode{OnRound: func(env *Env, inbox []Message) {
+			for _, m := range inbox {
+				got = m.Payload
+			}
+			if env.ID() == 0 && env.Round() == 1 {
+				env.Send(1, sent)
+			}
+			if env.Round() == 3 {
+				env.Halt()
+			}
+		}}
+	}
+	res, err := Run(NewNetwork(g), factory, Config{
+		B: 8, MaxRounds: 5,
+		Faults: &FaultPlan{CorruptRate: 1, CorruptFlips: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CorruptedBits != 4 {
+		t.Fatalf("CorruptedBits = %d, want 4 (min(64, payload length))", res.Stats.CorruptedBits)
+	}
+	want := bitio.Uint(0b0101, 4)
+	if !got.Equal(want) {
+		t.Fatalf("delivered %v, want every bit inverted (%v)", got, want)
+	}
+}
+
+// TestThrottleCapScansOncePerRound pins the per-round caching of the
+// throttle-window scan: however many messages a round delivers, the
+// window list is scanned exactly once per round, keeping Deliver O(1)
+// per message even under plans with many windows.
+func TestThrottleCapScansOncePerRound(t *testing.T) {
+	plan := FaultPlan{}
+	for i := 0; i < 1024; i++ {
+		plan.Throttles = append(plan.Throttles, Throttle{FromRound: i + 1, ToRound: i + 2, Bits: 8 + i})
+	}
+	adv := NewPlanAdversary(plan).(*planAdversary)
+	payload := bitio.Uint(0b101, 3)
+	rounds := 5
+	for round := 1; round <= rounds; round++ {
+		for msg := 0; msg < 200; msg++ {
+			adv.Deliver(round, 0, 1, 0, payload)
+		}
+	}
+	if adv.capScans != rounds {
+		t.Fatalf("throttle windows scanned %d times over %d rounds (1000 messages); want exactly once per round",
+			adv.capScans, rounds)
+	}
+}
+
+// BenchmarkPlanAdversaryDeliver measures per-message Deliver cost under a
+// 1024-window throttle plan. With the per-round cap cache this is O(1)
+// per message; before, every message paid a full window scan.
+func BenchmarkPlanAdversaryDeliver(b *testing.B) {
+	plan := FaultPlan{}
+	for i := 0; i < 1024; i++ {
+		plan.Throttles = append(plan.Throttles, Throttle{FromRound: 1, ToRound: 1 << 30, Bits: 1 << 20})
+	}
+	adv := NewPlanAdversary(plan)
+	payload := bitio.Uint(0xABCD, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Deliver(1, 0, 1, 0, payload)
+	}
+}

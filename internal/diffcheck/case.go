@@ -1,0 +1,144 @@
+// Package diffcheck is the differential and metamorphic correctness
+// harness: it generates seeded random (graph, pattern, options, fault
+// plan) cases and checks a battery of oracles over the repository's
+// independent execution paths — the sequential engine, the parallel
+// engine, the two-party split runner, and the subgraphd daemon — against
+// each other and against the centralized VF2-style ground truth
+// (graph.ContainsSubgraph), in the randomized-differential-testing
+// tradition of McKeeman and Csmith. Failing cases are shrunk by a greedy
+// minimizer and written as replayable JSON repro artifacts that
+// `diffcheck -replay` re-executes; committed artifacts under testdata/
+// pin past bugs as regression cases.
+package diffcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// Case is one self-contained differential test case: everything an
+// oracle needs to reproduce an execution, in a JSON-stable wire form.
+type Case struct {
+	// Name describes how the case was generated ("gnp", "planted-clique",
+	// a regression slug, ...). Informational only.
+	Name string `json:"name,omitempty"`
+	// Seed drives every piece of harness-side randomness for this case
+	// (split partitions, relabeling permutations, traffic payloads), so a
+	// replayed case makes exactly the draws the original did.
+	Seed int64 `json:"seed"`
+	// N and Edges define the host graph.
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+	// Pattern is a subgraph.ParsePattern spec (triangle | cycle:L |
+	// clique:S | path:L | star:L).
+	Pattern string `json:"pattern"`
+	// Options is the job-spec wire form of the detection options,
+	// including any fault plan.
+	Options subgraph.OptionsSpec `json:"options"`
+}
+
+// Graph builds and validates the host graph. Malformed edge lists
+// (out-of-range endpoints, self-loops, duplicates) are rejected with an
+// error rather than a panic so hand-edited repro files fail loudly.
+func (c *Case) Graph() (*subgraph.Graph, error) {
+	if c.N < 1 {
+		return nil, fmt.Errorf("diffcheck: case needs n ≥ 1, got %d", c.N)
+	}
+	b := graph.NewBuilder(c.N)
+	for i, e := range c.Edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("diffcheck: edge %d is a self-loop at %d", i, e[0])
+		}
+		if e[0] < 0 || e[0] >= c.N || e[1] < 0 || e[1] >= c.N {
+			return nil, fmt.Errorf("diffcheck: edge %d = (%d,%d) out of range [0,%d)", i, e[0], e[1], c.N)
+		}
+		if b.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("diffcheck: duplicate edge %d = (%d,%d)", i, e[0], e[1])
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}
+
+// PatternGraph parses the case's pattern spec.
+func (c *Case) PatternGraph() (*subgraph.Graph, error) {
+	return subgraph.ParsePattern(c.Pattern)
+}
+
+// DetectOptions converts the wire options to library Options.
+func (c *Case) DetectOptions() (subgraph.Options, error) {
+	return c.Options.Options()
+}
+
+// clone deep-copies the case so the shrinker can mutate candidates freely.
+func (c *Case) clone() *Case {
+	cp := *c
+	cp.Edges = make([][2]int, len(c.Edges))
+	copy(cp.Edges, c.Edges)
+	if f := c.Options.Faults; f != nil {
+		nf := *f
+		nf.Drops = append([]subgraph.TargetedDropSpec(nil), f.Drops...)
+		nf.Crashes = append([]subgraph.CrashSpec(nil), f.Crashes...)
+		nf.Throttles = append([]subgraph.ThrottleSpec(nil), f.Throttles...)
+		cp.Options.Faults = &nf
+	}
+	return &cp
+}
+
+// Artifact is a replayable repro document: the (possibly shrunk) failing
+// case plus which oracle failed and how. `diffcheck -replay file.json`
+// re-executes it; the committed files under testdata/ are regression
+// artifacts replayed by the package tests.
+type Artifact struct {
+	// Version guards the artifact schema (currently 1).
+	Version int `json:"diffcheck_version"`
+	// Oracle names the failing oracle; Detail is its failure message.
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	// Case is the shrunk failing case.
+	Case Case `json:"case"`
+	// Shrunk reports whether the minimizer reduced the original case;
+	// OriginalN / OriginalEdges record the pre-shrink size.
+	Shrunk        bool `json:"shrunk,omitempty"`
+	OriginalN     int  `json:"original_n,omitempty"`
+	OriginalEdges int  `json:"original_edges,omitempty"`
+}
+
+// WriteArtifact writes a pretty-printed artifact to path.
+func WriteArtifact(path string, a *Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("diffcheck: encoding artifact: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact (or a bare case document: a JSON file
+// with no "oracle" field loads as an artifact with every applicable
+// oracle selected).
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("diffcheck: decoding %s: %w", path, err)
+	}
+	if a.Oracle == "" && a.Case.N == 0 {
+		// Bare case document.
+		var c Case
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("diffcheck: decoding %s as case: %w", path, err)
+		}
+		a = Artifact{Version: 1, Case: c}
+	}
+	if a.Case.N == 0 {
+		return nil, fmt.Errorf("diffcheck: %s holds no case", path)
+	}
+	return &a, nil
+}

@@ -1,0 +1,197 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Cases is the number of random cases to generate (default 100).
+	Cases int
+	// Seed drives case generation; the same (Seed, Cases) pair replays
+	// the same battery.
+	Seed int64
+	// ArtifactDir receives one JSON repro artifact per failure (created
+	// on demand). Empty disables artifact files; failures are still
+	// reported in the Summary.
+	ArtifactDir string
+	// Oracles filters the battery by name (nil/empty = all).
+	Oracles []string
+	// ShrinkBudget bounds oracle evaluations per failure during
+	// minimization (0 = DefaultShrinkBudget).
+	ShrinkBudget int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Failure is one oracle violation found during a run.
+type Failure struct {
+	// Artifact is the replayable repro (shrunk case + failure detail).
+	Artifact Artifact
+	// Path is the artifact file, when ArtifactDir was set.
+	Path string
+	// CaseIndex is the generated case's index in the run.
+	CaseIndex int
+}
+
+// Summary reports a run.
+type Summary struct {
+	// Cases is the number of cases generated.
+	Cases int
+	// Checks counts oracle evaluations (excluding shrinking).
+	Checks int
+	// PerOracle breaks Checks down by oracle name.
+	PerOracle map[string]int
+	// Failures lists every violation, in discovery order.
+	Failures []Failure
+}
+
+// OK reports a clean run.
+func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// selectOracles resolves a name filter against the battery.
+func selectOracles(names []string) ([]Oracle, error) {
+	all := Oracles()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Oracle, len(all))
+	for _, o := range all {
+		byName[o.Name] = o
+	}
+	var out []Oracle
+	for _, name := range names {
+		o, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for k := range byName {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("diffcheck: unknown oracle %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Run generates opt.Cases random cases and evaluates the oracle battery
+// on each, shrinking failures and writing repro artifacts. The returned
+// error covers harness malfunctions (artifact IO, bad filters) — oracle
+// violations land in Summary.Failures, not the error.
+func Run(opt Options) (*Summary, error) {
+	if opt.Cases <= 0 {
+		opt.Cases = 100
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	oracles, err := selectOracles(opt.Oracles)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ArtifactDir != "" {
+		if err := os.MkdirAll(opt.ArtifactDir, 0o755); err != nil {
+			return nil, fmt.Errorf("diffcheck: creating artifact dir: %w", err)
+		}
+	}
+
+	h := NewHarness()
+	defer h.Close()
+	sum := &Summary{Cases: opt.Cases, PerOracle: make(map[string]int)}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	for i := 0; i < opt.Cases; i++ {
+		c := GenerateCase(rng, i)
+		for _, o := range oracles {
+			if !o.Applies(c) {
+				continue
+			}
+			sum.Checks++
+			sum.PerOracle[o.Name]++
+			cerr := o.Check(h, c)
+			if cerr == nil {
+				continue
+			}
+			logf("case %d (%s, n=%d, m=%d, pattern=%s): oracle %s FAILED: %v — shrinking",
+				i, c.Name, c.N, len(c.Edges), c.Pattern, o.Name, cerr)
+			f := shrinkFailure(h, o, c, cerr, opt.ShrinkBudget)
+			f.CaseIndex = i
+			if opt.ArtifactDir != "" {
+				path := filepath.Join(opt.ArtifactDir,
+					fmt.Sprintf("diffcheck_%s_case%04d.json", o.Name, i))
+				if werr := WriteArtifact(path, &f.Artifact); werr != nil {
+					return sum, werr
+				}
+				f.Path = path
+				logf("  shrunk to n=%d, m=%d; artifact: %s",
+					f.Artifact.Case.N, len(f.Artifact.Case.Edges), path)
+			}
+			sum.Failures = append(sum.Failures, f)
+		}
+	}
+	return sum, nil
+}
+
+// shrinkFailure minimizes a failing case and packages the artifact.
+func shrinkFailure(h *Harness, o Oracle, c *Case, cerr error, budget int) Failure {
+	stillFails := func(cand *Case) bool {
+		return o.Applies(cand) && o.Check(h, cand) != nil
+	}
+	shrunk, _ := Shrink(c, stillFails, budget)
+	detail := cerr.Error()
+	// Re-run on the shrunk case so the artifact's detail describes the
+	// case it carries.
+	if serr := o.Check(h, shrunk); serr != nil {
+		detail = serr.Error()
+	}
+	return Failure{Artifact: Artifact{
+		Version:       1,
+		Oracle:        o.Name,
+		Detail:        detail,
+		Case:          *shrunk,
+		Shrunk:        shrunk.N != c.N || len(shrunk.Edges) != len(c.Edges),
+		OriginalN:     c.N,
+		OriginalEdges: len(c.Edges),
+	}}
+}
+
+// Replay re-executes the artifact (or bare case) at path. It returns nil
+// when every selected oracle passes — the recorded bug no longer
+// reproduces — and a descriptive error when a discrepancy persists. An
+// artifact naming an oracle replays exactly that oracle; a bare case runs
+// every applicable one.
+func Replay(path string) error {
+	art, err := LoadArtifact(path)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if art.Oracle != "" {
+		names = []string{art.Oracle}
+	}
+	oracles, err := selectOracles(names)
+	if err != nil {
+		return err
+	}
+	h := NewHarness()
+	defer h.Close()
+	for _, o := range oracles {
+		if !o.Applies(&art.Case) {
+			if art.Oracle != "" {
+				return fmt.Errorf("diffcheck: oracle %s does not apply to the case in %s", o.Name, path)
+			}
+			continue
+		}
+		if cerr := o.Check(h, &art.Case); cerr != nil {
+			return fmt.Errorf("diffcheck: oracle %s still fails on %s: %w", o.Name, path, cerr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// TestBatteryClean runs a compact battery end to end — the package's own
+// regression net: any oracle violation here is a real correctness bug in
+// the engines, the daemon, or the detectors.
+func TestBatteryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery run in -short mode")
+	}
+	sum, err := Run(Options{Cases: 60, Seed: 42, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("case %d: oracle %s: %s", f.CaseIndex, f.Artifact.Oracle, f.Artifact.Detail)
+	}
+	// Every oracle in the battery must have been exercised; a zero count
+	// means the generator or an Applies gate drifted.
+	for _, o := range Oracles() {
+		if sum.PerOracle[o.Name] == 0 {
+			t.Errorf("oracle %s was never applicable in %d cases", o.Name, sum.Cases)
+		}
+	}
+}
+
+// TestReplayTestdataClean replays every committed repro artifact. Each of
+// these files once reproduced a real bug (or pins a metamorphic relation);
+// a failure here means a fixed bug regressed.
+func TestReplayTestdataClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no regression artifacts under testdata/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			if err := Replay(path); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestShrinkerMinimizes drives Shrink with a synthetic predicate ("the
+// graph contains a triangle") from a large planted case and expects the
+// minimizer to strip it down to the triangle itself.
+func TestShrinkerMinimizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := graph.PlantClique(graph.GNP(24, 0.15, rng), 3, rng)
+	c := &Case{Seed: 5, N: g.N(), Pattern: "triangle"}
+	for _, e := range g.Edges() {
+		c.Edges = append(c.Edges, [2]int{e[0], e[1]})
+	}
+	triangle := subgraph.Complete(3)
+	hasTriangle := func(cand *Case) bool {
+		cg, err := cand.Graph()
+		return err == nil && subgraph.ContainsSubgraph(triangle, cg)
+	}
+	if !hasTriangle(c) {
+		t.Fatal("planted case lost its triangle")
+	}
+	shrunk, evals := Shrink(c, hasTriangle, 2000)
+	if !hasTriangle(shrunk) {
+		t.Fatal("shrunk case no longer satisfies the predicate")
+	}
+	if len(shrunk.Edges) != 3 || shrunk.N != 3 {
+		t.Fatalf("shrunk to n=%d m=%d after %d evals; want the bare triangle (n=3, m=3)",
+			shrunk.N, len(shrunk.Edges), evals)
+	}
+	if len(c.Edges) == 3 {
+		t.Fatal("original case was mutated by shrinking")
+	}
+}
+
+// TestShrinkSimplifiesFaultPlan checks the option passes: a predicate
+// that only needs the corruption entries should see drops, crashes,
+// throttles, and the deadline stripped away.
+func TestShrinkSimplifiesFaultPlan(t *testing.T) {
+	c := &Case{
+		Seed: 1, N: 4,
+		Edges:   [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		Pattern: "triangle",
+		Options: subgraph.OptionsSpec{
+			Reps:       3,
+			DeadlineMs: 30_000,
+			Faults: &subgraph.FaultSpec{
+				DropRate:     0.2,
+				CorruptRate:  0.5,
+				CorruptFlips: 4,
+				Crashes:      []subgraph.CrashSpec{{Vertex: 0, Round: 2}},
+				Throttles:    []subgraph.ThrottleSpec{{FromRound: 1, ToRound: 3, Bits: 8}},
+			},
+		},
+	}
+	needsCorruption := func(cand *Case) bool {
+		f := cand.Options.Faults
+		return f != nil && f.CorruptRate > 0
+	}
+	shrunk, _ := Shrink(c, needsCorruption, 500)
+	f := shrunk.Options.Faults
+	if f == nil || f.CorruptRate == 0 {
+		t.Fatal("shrinking dropped the load-bearing corruption")
+	}
+	if f.DropRate != 0 || len(f.Crashes) != 0 || len(f.Throttles) != 0 {
+		t.Fatalf("irrelevant fault entries survived: %+v", f)
+	}
+	if shrunk.Options.DeadlineMs != 0 || shrunk.Options.Reps > 1 {
+		t.Fatalf("irrelevant options survived: %+v", shrunk.Options)
+	}
+	if len(shrunk.Edges) != 0 {
+		t.Fatalf("edges are irrelevant to the predicate but %d survived", len(shrunk.Edges))
+	}
+}
+
+// TestCaseValidation pins the loud-failure contract for hand-edited
+// repro files.
+func TestCaseValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		c    Case
+		want string
+	}{
+		{"self-loop", Case{N: 3, Edges: [][2]int{{1, 1}}}, "self-loop"},
+		{"out-of-range", Case{N: 3, Edges: [][2]int{{0, 3}}}, "out of range"},
+		{"duplicate", Case{N: 3, Edges: [][2]int{{0, 1}, {1, 0}}}, "duplicate"},
+		{"empty", Case{N: 0}, "n ≥ 1"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.c.Graph()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownOracleRejected pins the -oracle filter diagnostics.
+func TestUnknownOracleRejected(t *testing.T) {
+	_, err := Run(Options{Cases: 1, Oracles: []string{"no-such-oracle"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown oracle") {
+		t.Fatalf("err = %v, want unknown-oracle diagnostic", err)
+	}
+	if !strings.Contains(err.Error(), "engine-equality") {
+		t.Fatalf("diagnostic should list known oracles, got: %v", err)
+	}
+}
+
+// TestLoadArtifactBareCase loads a case document with no oracle field —
+// the hand-written regression-seed format.
+func TestLoadArtifactBareCase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "case.json")
+	doc := `{"name":"bare","seed":3,"n":3,"edges":[[0,1],[1,2],[0,2]],"pattern":"triangle","options":{"seed":3}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Oracle != "" || art.Case.N != 3 || art.Case.Pattern != "triangle" {
+		t.Fatalf("loaded %+v", art)
+	}
+	if err := Replay(path); err != nil {
+		t.Fatalf("bare triangle case should replay clean: %v", err)
+	}
+}
+
+// TestArtifactRoundTrip pins Write/Load symmetry.
+func TestArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	in := &Artifact{
+		Version: 1,
+		Oracle:  "engine-equality",
+		Detail:  "synthetic",
+		Case: Case{
+			Name: "rt", Seed: 9, N: 2,
+			Edges: [][2]int{{0, 1}}, Pattern: "clique:2",
+		},
+		Shrunk: true, OriginalN: 10, OriginalEdges: 20,
+	}
+	if err := WriteArtifact(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Oracle != in.Oracle || out.Detail != in.Detail || out.Case.N != in.Case.N ||
+		len(out.Case.Edges) != 1 || !out.Shrunk || out.OriginalN != 10 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+// TestGeneratedCasesAreValid property-checks the generator against the
+// validators the replay path uses — a generated case must always load.
+func TestGeneratedCasesAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		c := GenerateCase(rng, i)
+		if _, err := c.Graph(); err != nil {
+			t.Fatalf("case %d (%s): %v", i, c.Name, err)
+		}
+		if _, err := c.PatternGraph(); err != nil {
+			t.Fatalf("case %d pattern %q: %v", i, c.Pattern, err)
+		}
+		if _, err := c.DetectOptions(); err != nil {
+			t.Fatalf("case %d options: %v", i, err)
+		}
+		if f := c.Options.Faults; f != nil {
+			for _, cr := range f.Crashes {
+				if cr.Vertex < 0 || cr.Vertex >= c.N || cr.Round < 1 {
+					t.Fatalf("case %d: invalid crash %+v for n=%d", i, cr, c.N)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraph/internal/bitio"
+	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+)
+
+// Engine-level fixtures: the split-equality and fault-accounting oracles
+// need a node program that exercises the raw runner surface (arbitrary
+// payload sizes, inbox-order-sensitive state, randomized traffic) rather
+// than a detection algorithm, so discrepancies in delivery order, fault
+// application, or split synchronization show up as decision differences.
+
+const (
+	trafficB            = 32 // per-edge bandwidth; sends stay below it
+	trafficActiveRounds = 6  // rounds of random traffic before deciding
+	trafficMaxRounds    = 12
+)
+
+// trafficNode folds its inbox — in delivery order — into a rolling hash,
+// sends randomly sized random payloads to a random subset of neighbors
+// for trafficActiveRounds rounds, then decides from the hash parity and
+// halts. Any divergence between two executions (message order, payload
+// bits, fault draws) almost surely flips some node's decision.
+type trafficNode struct {
+	hash uint64
+}
+
+func (t *trafficNode) Init(env *congest.Env) {}
+
+func (t *trafficNode) Round(env *congest.Env, inbox []congest.Message) {
+	for _, m := range inbox {
+		t.hash = t.hash*1099511628211 + uint64(m.From)<<17
+		for i := 0; i < m.Payload.Len(); i++ {
+			t.hash = t.hash*31 + uint64(m.Payload.Bit(i))
+		}
+	}
+	if env.Round() <= trafficActiveRounds {
+		rng := env.Rand()
+		for port := 0; port < env.Degree(); port++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			width := 1 + rng.Intn(16)
+			value := rng.Uint64() & (1<<uint(width) - 1)
+			env.SendPort(port, bitio.Uint(value, width))
+		}
+		return
+	}
+	if t.hash&1 == 1 {
+		env.Reject()
+	}
+	env.Halt()
+}
+
+func trafficFactory() congest.Node { return &trafficNode{} }
+
+// trafficConfig is the shared runner configuration for traffic runs.
+func trafficConfig(seed int64, parallel bool) congest.Config {
+	return congest.Config{
+		B:                trafficB,
+		MaxRounds:        trafficMaxRounds,
+		Seed:             seed,
+		Parallel:         parallel,
+		RecordTranscript: true,
+	}
+}
+
+// runTraffic executes the traffic program on g with the monolithic runner.
+func runTraffic(g *graph.Graph, seed int64, parallel bool, adv congest.Adversary) (*congest.Result, error) {
+	cfg := trafficConfig(seed, parallel)
+	cfg.Adversary = adv
+	return congest.Run(congest.NewNetwork(g), trafficFactory, cfg)
+}
+
+// runTrafficSplit executes the same program as the two-party simulation
+// under the given vertex-ownership assignment (fault-free: RunSplit
+// models Theorem 1.2's reliable two-party setting).
+func runTrafficSplit(g *graph.Graph, seed int64, owner []congest.SplitRole) (*congest.SplitResult, error) {
+	return congest.RunSplit(congest.NewNetwork(g), owner, trafficFactory, trafficConfig(seed, false))
+}
+
+// splitOwners derives a deterministic Alice/Bob/Shared assignment from rng.
+func splitOwners(n int, rng *rand.Rand) []congest.SplitRole {
+	owner := make([]congest.SplitRole, n)
+	for v := range owner {
+		switch rng.Intn(5) {
+		case 0, 1:
+			owner[v] = congest.SplitAlice
+		case 2, 3:
+			owner[v] = congest.SplitBob
+		default:
+			owner[v] = congest.SplitShared
+		}
+	}
+	return owner
+}
+
+// recordingAdversary wraps an inner Adversary and, for every corrupted
+// delivery, measures how many bits the delivered payload ACTUALLY differs
+// from the sent one — the independent measurement the fault-accounting
+// oracle compares against the flip counts the adversary reports (which is
+// what Stats.CorruptedBits accumulates).
+type recordingAdversary struct {
+	inner congest.Adversary
+
+	corrupted     int64 // messages tagged FaultCorrupted
+	reportedFlips int64 // sum of the adversary's reported flip counts
+	actualFlips   int64 // sum of measured payload differences
+	unchanged     int64 // corrupted-tagged messages with zero differing bits
+	lengthChanged int64 // corrupted-tagged messages whose length changed
+}
+
+func (r *recordingAdversary) Crashed(round, v int) bool {
+	return r.inner.Crashed(round, v)
+}
+
+func (r *recordingAdversary) Deliver(round, fromV, toV, deliveredBits int, payload bitio.BitString) (bitio.BitString, congest.FaultTag, int) {
+	out, tag, flips := r.inner.Deliver(round, fromV, toV, deliveredBits, payload)
+	if tag == congest.FaultCorrupted {
+		r.corrupted++
+		r.reportedFlips += int64(flips)
+		if out.Len() != payload.Len() {
+			r.lengthChanged++
+		} else {
+			d := int64(diffBits(payload, out))
+			r.actualFlips += d
+			if d == 0 {
+				r.unchanged++
+			}
+		}
+	}
+	return out, tag, flips
+}
+
+// diffBits counts positions where equal-length bit strings differ.
+func diffBits(a, b bitio.BitString) int {
+	d := 0
+	for i := 0; i < a.Len(); i++ {
+		if a.Bit(i) != b.Bit(i) {
+			d++
+		}
+	}
+	return d
+}
+
+// check returns the recorder's verdict after a run reporting stats.
+func (r *recordingAdversary) check(stats congest.Stats) error {
+	if r.lengthChanged > 0 {
+		return fmt.Errorf("%d corrupted deliveries changed payload length", r.lengthChanged)
+	}
+	if r.unchanged > 0 {
+		return fmt.Errorf("%d deliveries tagged corrupted but bit-identical to the sent payload (flips canceled)", r.unchanged)
+	}
+	if r.reportedFlips != r.actualFlips {
+		return fmt.Errorf("adversary reported %d flipped bits but delivered payloads differ in %d bits", r.reportedFlips, r.actualFlips)
+	}
+	if stats.CorruptedBits != r.actualFlips {
+		return fmt.Errorf("Stats.CorruptedBits = %d but delivered payloads differ from sent ones in %d bits", stats.CorruptedBits, r.actualFlips)
+	}
+	if stats.CorruptedMessages != r.corrupted {
+		return fmt.Errorf("Stats.CorruptedMessages = %d but the adversary corrupted %d messages", stats.CorruptedMessages, r.corrupted)
+	}
+	return nil
+}

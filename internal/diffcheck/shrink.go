@@ -1,0 +1,169 @@
+package diffcheck
+
+// Greedy case minimization, delta-debugging style: try structural
+// simplifications one at a time, keep each one that still fails the
+// oracle, and stop when a full sweep changes nothing or the evaluation
+// budget runs out. The result is not globally minimal, but in practice a
+// few dozen evaluations reduce a 30-vertex case to a handful of vertices
+// and one fault entry — small enough to read in the repro artifact.
+
+// DefaultShrinkBudget bounds oracle evaluations per shrink.
+const DefaultShrinkBudget = 400
+
+// Shrink minimizes c under the predicate stillFails (true = the candidate
+// still exhibits the failure). It returns the smallest failing case found
+// and the number of predicate evaluations spent. c itself is not mutated.
+func Shrink(c *Case, stillFails func(*Case) bool, budget int) (*Case, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	cur := c.clone()
+	evals := 0
+	try := func(cand *Case) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		if stillFails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && evals < budget; {
+		changed = false
+
+		// Drop edges, one at a time. Iterating without advancing past a
+		// successful removal keeps the pass linear in the surviving edges.
+		for i := 0; i < len(cur.Edges) && evals < budget; {
+			cand := cur.clone()
+			cand.Edges = append(cand.Edges[:i], cand.Edges[i+1:]...)
+			if try(cand) {
+				changed = true
+			} else {
+				i++
+			}
+		}
+
+		// Remove vertices (highest first, so earlier indices stay stable),
+		// deleting incident edges and renumbering everything above.
+		for v := cur.N - 1; v >= 0 && cur.N > 2 && evals < budget; v-- {
+			if try(removeVertex(cur, v)) {
+				changed = true
+			}
+		}
+
+		// Simplify the fault plan and options entry by entry.
+		for _, cand := range optionCandidates(cur) {
+			if evals >= budget {
+				break
+			}
+			if try(cand) {
+				changed = true
+			}
+		}
+	}
+	return cur, evals
+}
+
+// removeVertex builds the candidate with vertex v deleted: incident edges
+// and fault entries referencing v go away, higher vertices shift down.
+func removeVertex(c *Case, v int) *Case {
+	cand := c.clone()
+	cand.N = c.N - 1
+	cand.Edges = cand.Edges[:0]
+	shift := func(u int) int {
+		if u > v {
+			return u - 1
+		}
+		return u
+	}
+	for _, e := range c.Edges {
+		if e[0] == v || e[1] == v {
+			continue
+		}
+		cand.Edges = append(cand.Edges, [2]int{shift(e[0]), shift(e[1])})
+	}
+	if f := cand.Options.Faults; f != nil {
+		crashes := f.Crashes[:0]
+		for _, cr := range f.Crashes {
+			if cr.Vertex == v {
+				continue
+			}
+			cr.Vertex = shift(cr.Vertex)
+			crashes = append(crashes, cr)
+		}
+		f.Crashes = crashes
+		drops := f.Drops[:0]
+		for _, d := range f.Drops {
+			if d.From == v || d.To == v {
+				continue
+			}
+			d.From, d.To = shift(d.From), shift(d.To)
+			drops = append(drops, d)
+		}
+		f.Drops = drops
+	}
+	return cand
+}
+
+// optionCandidates enumerates single-step option simplifications.
+func optionCandidates(c *Case) []*Case {
+	var out []*Case
+	add := func(mutate func(*Case)) {
+		cand := c.clone()
+		mutate(cand)
+		out = append(out, cand)
+	}
+	if f := c.Options.Faults; f != nil {
+		for i := range f.Drops {
+			i := i
+			add(func(k *Case) {
+				kf := k.Options.Faults
+				kf.Drops = append(kf.Drops[:i], kf.Drops[i+1:]...)
+			})
+		}
+		for i := range f.Crashes {
+			i := i
+			add(func(k *Case) {
+				kf := k.Options.Faults
+				kf.Crashes = append(kf.Crashes[:i], kf.Crashes[i+1:]...)
+			})
+		}
+		for i := range f.Throttles {
+			i := i
+			add(func(k *Case) {
+				kf := k.Options.Faults
+				kf.Throttles = append(kf.Throttles[:i], kf.Throttles[i+1:]...)
+			})
+		}
+		if f.DropRate > 0 {
+			add(func(k *Case) { k.Options.Faults.DropRate = 0 })
+		}
+		if f.CorruptRate > 0 {
+			add(func(k *Case) {
+				k.Options.Faults.CorruptRate = 0
+				k.Options.Faults.CorruptFlips = 0
+			})
+		}
+		if f.CorruptFlips > 1 {
+			add(func(k *Case) { k.Options.Faults.CorruptFlips = 1 })
+		}
+		add(func(k *Case) { k.Options.Faults = nil })
+	}
+	if c.Options.Reps > 1 {
+		add(func(k *Case) { k.Options.Reps = 1 })
+	}
+	if c.Options.Resilient {
+		add(func(k *Case) { k.Options.Resilient = false })
+	}
+	if c.Options.DeadlineMs != 0 {
+		add(func(k *Case) { k.Options.DeadlineMs = 0 })
+	}
+	// Normalize an empty FaultSpec shell left over by zeroed rates.
+	if f := c.Options.Faults; f != nil && f.Plan() == nil {
+		add(func(k *Case) { k.Options.Faults = nil })
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package graph
+
+import "fmt"
+
+// Relabel returns the isomorphic copy of g in which original vertex v
+// becomes perm[v]. perm must be a permutation of 0..N-1; anything else
+// panics (a bad permutation would silently build a different graph, which
+// is exactly the kind of bug the metamorphic relabeling oracle exists to
+// catch). Subgraph containment is invariant under Relabel — the property
+// the differential harness checks against every exact detector.
+func Relabel(g *Graph, perm []int) *Graph {
+	n := g.N()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: Relabel permutation covers %d of %d vertices", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("graph: Relabel permutation is not a bijection on [0,%d)", n))
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return b.Build()
+}

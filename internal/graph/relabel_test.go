@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := GNP(12, 0.3, rng)
+		perm := rng.Perm(g.N())
+		rg := Relabel(g, perm)
+		if rg.N() != g.N() || rg.M() != g.M() {
+			t.Fatalf("trial %d: shape (%d,%d) vs (%d,%d)", trial, rg.N(), rg.M(), g.N(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if !rg.HasEdge(perm[e[0]], perm[e[1]]) {
+				t.Fatalf("trial %d: edge (%d,%d) lost under relabeling", trial, e[0], e[1])
+			}
+		}
+		// Subgraph containment is invariant under isomorphism.
+		for _, h := range []*Graph{Cycle(3), Cycle(4), Complete(4), Path(5)} {
+			if ContainsSubgraph(h, g) != ContainsSubgraph(h, rg) {
+				t.Fatalf("trial %d: containment of %v changed under relabeling", trial, h)
+			}
+		}
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := Complete(5)
+	rg := Relabel(g, []int{0, 1, 2, 3, 4})
+	if d := rg.Digest(); d != g.Digest() {
+		t.Fatalf("identity relabel changed digest: %s vs %s", d, g.Digest())
+	}
+}
+
+func TestRelabelRejectsBadPermutation(t *testing.T) {
+	g := Path(3)
+	for _, perm := range [][]int{
+		{0, 1},       // wrong length
+		{0, 1, 1},    // repeated image
+		{0, 1, 3},    // out of range
+		{-1, 0, 1},   // negative
+		{0, 1, 2, 3}, // too long
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("permutation %v accepted", perm)
+				}
+			}()
+			Relabel(g, perm)
+		}()
+	}
+}

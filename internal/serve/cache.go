@@ -26,15 +26,20 @@ type cacheEntry struct {
 	res *JobResult
 }
 
-// NewCache returns a cache bounded to max entries; max < 0 disables
-// caching entirely (every lookup misses, every insert is dropped).
+// NewCache returns a cache bounded to max entries; max ≤ 0 disables
+// caching entirely (every lookup misses, every insert is dropped). Both
+// sentinels disable — 0 is NOT "unbounded": an unbounded result cache in a
+// long-running daemon is a memory leak, and the eviction loop in Put only
+// runs for positive bounds, so a zero bound once meant exactly that leak.
+// Callers wanting the server default should go through Config.CacheSize,
+// whose zero value maps to the documented default instead.
 func NewCache(max int) *Cache {
 	return &Cache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
 // Get returns the cached result for key, touching its recency.
 func (c *Cache) Get(key string) (*JobResult, bool) {
-	if c.max < 0 {
+	if c.max <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -49,7 +54,7 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 // Put inserts (or refreshes) the result for key, evicting the least
 // recently used entry beyond the bound.
 func (c *Cache) Put(key string, res *JobResult) {
-	if c.max < 0 {
+	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"subgraph"
+)
+
+// TestCacheSizeSentinels pins the NewCache capacity contract across the
+// sentinel boundary: any max ≤ 0 disables the cache entirely (0 is NOT
+// "unbounded" — that reading let a long-lived daemon configured with
+// size 0 grow its cache without limit), positive sizes bound it.
+func TestCacheSizeSentinels(t *testing.T) {
+	cases := []struct {
+		size     int
+		disabled bool
+	}{
+		{size: -5, disabled: true},
+		{size: -1, disabled: true},
+		{size: 0, disabled: true},
+		{size: 1, disabled: false},
+		{size: 3, disabled: false},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("size=%d", tc.size), func(t *testing.T) {
+			c := NewCache(tc.size)
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("k%d", i)
+				c.Put(key, &JobResult{Algorithm: key})
+				if tc.disabled {
+					if c.Len() != 0 {
+						t.Fatalf("disabled cache holds %d entries after %d inserts", c.Len(), i+1)
+					}
+					if _, ok := c.Get(key); ok {
+						t.Fatal("disabled cache returned a hit")
+					}
+					continue
+				}
+				if c.Len() > tc.size {
+					t.Fatalf("cache of capacity %d holds %d entries", tc.size, c.Len())
+				}
+				if res, ok := c.Get(key); !ok || res.Algorithm != key {
+					t.Fatalf("freshly inserted %s: (%v, %v)", key, res, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheHitAcrossDeadlines pins the deadline-stripped cache key: a
+// resubmission that differs from a completed job only in deadline_ms is
+// answered from cache (complete results are deadline-independent), with
+// no extra engine execution.
+func TestCacheHitAcrossDeadlines(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	text, _ := testEdgeList(t, 11)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Graph: up.Digest, Pattern: "triangle",
+		Options: subgraph.OptionsSpec{Seed: 9, DeadlineMs: 5_000}}
+	jv, _, err := c.SubmitJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv, err = c.WaitJob(jv.ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if jv.Result == nil || jv.Result.Partial {
+		t.Fatalf("priming job did not complete cleanly: %+v", jv)
+	}
+	runsBefore := counter(t, c, MetricDetectRuns)
+
+	for _, deadlineMs := range []int64{9_000, 0, 30_000} {
+		respec := spec
+		respec.Options.DeadlineMs = deadlineMs
+		jv2, status, err := c.SubmitJob(respec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK || !jv2.Cached {
+			t.Fatalf("deadline_ms=%d: HTTP %d cached=%v, want a cache hit (key must not include the deadline)",
+				deadlineMs, status, jv2.Cached)
+		}
+		if !bytes.Equal(jv2.Result.Stats, jv.Result.Stats) {
+			t.Fatalf("deadline_ms=%d: cached stats differ from the original run", deadlineMs)
+		}
+	}
+	if got := counter(t, c, MetricDetectRuns); got != runsBefore {
+		t.Fatalf("engine ran %d extra times for deadline-only resubmissions", got-runsBefore)
+	}
+}

@@ -170,11 +170,18 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 	}
 
 	// The cache key uses the *pattern graph's* digest, so aliases like
-	// "triangle" and "cycle:3" share entries, and the effective
-	// (deadline-capped) options, so identical executions are keyed
-	// identically however the deadline was written.
+	// "triangle" and "cycle:3" share entries. The deadline is stripped
+	// from the key: only complete (non-partial) results are ever cached,
+	// and a complete result is deadline-independent — the engine checks
+	// the budget between rounds but the execution itself is a pure
+	// function of (graph, pattern, options-sans-deadline, seed). Keying
+	// the deadline would split identical executions into per-deadline
+	// cache entries and miss on every requests-differ-only-in-deadline
+	// resubmission.
 	effective := subgraph.OptionsSpecOf(opts)
-	key := digest + "|" + h.Digest() + "|" + effective.Canonical()
+	keySpec := effective
+	keySpec.DeadlineMs = 0
+	key := digest + "|" + h.Digest() + "|" + keySpec.Canonical()
 	return &job{
 		digest:   digest,
 		pattern:  spec.Pattern,

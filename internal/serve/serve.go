@@ -66,8 +66,12 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a submit finding it full is
 	// answered 429 (default 64).
 	QueueDepth int
-	// CacheSize bounds the LRU result cache, in entries (default 512;
-	// negative disables caching).
+	// CacheSize bounds the LRU result cache, in entries. The zero value
+	// takes the default of 512 (so a zero Config serves with caching on);
+	// any negative value disables caching. Callers that need "explicitly
+	// disabled" semantics for an operator-supplied 0 — like subgraphd's
+	// -cache flag — must translate 0 to a negative value themselves,
+	// since a struct zero value cannot distinguish "unset" from "0".
 	CacheSize int
 	// MaxGraphs bounds the content-addressed store, in graphs; the least
 	// recently used graph is evicted when full (default 128).
@@ -101,6 +105,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 512
+	}
+	if c.CacheSize < 0 {
+		// Normalize every "disabled" spelling to the NewCache sentinel.
+		c.CacheSize = -1
 	}
 	if c.MaxGraphs <= 0 {
 		c.MaxGraphs = 128

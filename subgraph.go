@@ -115,12 +115,18 @@ var (
 	Star = graph.Star
 	// GNP returns an Erdős–Rényi random graph.
 	GNP = graph.GNP
+	// GNM returns a uniform random graph with exactly m edges.
+	GNM = graph.GNM
 	// RandomTree returns a uniform random labeled tree.
 	RandomTree = graph.RandomTree
 	// PlantCycle adds a cycle through random vertices.
 	PlantCycle = graph.PlantCycle
 	// PlantClique adds a clique on random vertices.
 	PlantClique = graph.PlantClique
+	// Relabel returns the isomorphic copy of a graph under a vertex
+	// permutation — the metamorphic-testing helper: detection outcomes of
+	// the exact detectors are invariant under Relabel.
+	Relabel = graph.Relabel
 )
 
 // ContainsSubgraph is the centralized ground truth (Definition 1:

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report clean
+.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report canary-smoke clean
 
 all: build test
 
@@ -54,6 +54,18 @@ smoke:
 # quiet machine).
 loadgen-report:
 	$(GO) run ./cmd/subgraphd -loadgen -jobs 400 -seed 1 -out BENCH_PR4.json
+
+# Re-measure the committed robustness baseline: seeded chaos injection,
+# SLO load shedding, full-fraction canary (see README "Robustness").
+chaos-report:
+	$(GO) run ./cmd/subgraphd -loadgen -chaos -canary 1.0 -jobs 400 -seed 1 \
+		-workers 2 -slo-p99 150ms -low-frac 0.3 -out BENCH_PR6.json
+
+# Quick local version of CI's canary-smoke gate.
+canary-smoke:
+	$(GO) test -race -count=1 ./internal/obs ./internal/canary ./internal/serve
+	$(GO) run ./cmd/subgraphd -loadgen -chaos -canary 1.0 -jobs 200 -seed 1 \
+		-workers 2 -slo-p99 150ms -low-frac 0.3 -out /dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -27,6 +27,8 @@ import (
 	"syscall"
 	"time"
 
+	"subgraph/internal/canary"
+	"subgraph/internal/obs"
 	"subgraph/internal/serve"
 )
 
@@ -45,6 +47,12 @@ func run() int {
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock deadline cap")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
 
+		canaryFrac = flag.Float64("canary", 0, "fraction of completed jobs asynchronously re-checked through a second engine (+ ground truth on small instances); 0 disables")
+		canaryDir  = flag.String("canary-artifacts", ".", "directory for shrunk canary divergence artifacts (replayable with cmd/diffcheck -replay)")
+		sloP99     = flag.Duration("slo-p99", 0, "p99 job-latency budget; breaching it sheds low-priority jobs with 429 + Retry-After (0 disables the SLO guard)")
+		sloQWait   = flag.Duration("slo-queue-wait", 0, "p99 queue-wait budget feeding the same SLO guard (0 disables)")
+		sloWindow  = flag.Duration("slo-window", 30*time.Second, "rolling window the SLO percentiles are computed over")
+
 		loadgen     = flag.Bool("loadgen", false, "load-generator mode: replay a seeded job mix and report latency percentiles")
 		target      = flag.String("target", "", "loadgen: base URL of a running daemon (default: in-process server)")
 		jobs        = flag.Int("jobs", 200, "loadgen: jobs to replay")
@@ -52,6 +60,9 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "loadgen: workload seed (same seed = same mix)")
 		graphN      = flag.Int("graph-n", 150, "loadgen: vertices per generated topology")
 		repeatFrac  = flag.Float64("repeat", 0.5, "loadgen: fraction of jobs repeating an earlier one (cache exercise)")
+		lowFrac     = flag.Float64("low-frac", 0, "loadgen: fraction of jobs submitted at low priority (the tier the SLO guard sheds first)")
+		chaos       = flag.Bool("chaos", false, "loadgen: wrap the in-process server in seeded fault injection (429/503/latency) — grades the client's retry policy")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "loadgen: fault-injection seed")
 		out         = flag.String("out", "", "loadgen: write the benchreport JSON here (default stdout)")
 
 		selfcheck = flag.String("selfcheck", "", "run the end-to-end self-check against this base URL and exit")
@@ -69,12 +80,37 @@ func run() int {
 	if effCache <= 0 {
 		effCache = -1
 	}
+	reg := obs.NewRegistry()
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      effCache,
 		MaxGraphs:      *maxGraphs,
 		MaxJobDeadline: *maxDeadline,
+		Registry:       reg,
+		SLO: serve.SLOConfig{
+			LatencyBudget:   *sloP99,
+			QueueWaitBudget: *sloQWait,
+			Window:          *sloWindow,
+		},
+	}
+
+	// The canary shares the server's registry and taps completed jobs via
+	// OnJobDone; it only makes sense where the server runs in this process.
+	var cn *canary.Canary
+	if *canaryFrac > 0 {
+		if *selfcheck != "" || (*loadgen && *target != "") {
+			logger.Printf("-canary needs the server in-process (drop -target / -selfcheck)")
+			return 2
+		}
+		cn = canary.New(canary.Config{
+			Fraction:    *canaryFrac,
+			Seed:        *seed,
+			ArtifactDir: *canaryDir,
+			Registry:    reg,
+			Logf:        logger.Printf,
+		})
+		cfg.OnJobDone = cn.OnJobDone
 	}
 
 	switch {
@@ -91,23 +127,57 @@ func run() int {
 		return 0
 
 	case *loadgen:
+		var chaosCfg *serve.ChaosConfig
+		if *chaos {
+			if *target != "" {
+				logger.Printf("-chaos wraps the in-process server; it cannot inject into a remote -target")
+				return 2
+			}
+			chaosCfg = &serve.ChaosConfig{
+				Seed:        *chaosSeed,
+				Reject429:   0.10,
+				Fail503:     0.05,
+				LatencyRate: 0.10,
+				LatencyMax:  25 * time.Millisecond,
+			}
+		}
 		return runLoadGen(logger, cfg, serve.LoadGenConfig{
-			BaseURL:        *target,
-			Jobs:           *jobs,
-			Concurrency:    *concurrency,
-			Seed:           *seed,
-			GraphN:         *graphN,
-			RepeatFraction: *repeatFrac,
-			Logf:           logger.Printf,
-		}, *out)
+			BaseURL:             *target,
+			Jobs:                *jobs,
+			Concurrency:         *concurrency,
+			Seed:                *seed,
+			GraphN:              *graphN,
+			RepeatFraction:      *repeatFrac,
+			LowPriorityFraction: *lowFrac,
+			Logf:                logger.Printf,
+		}, *out, chaosCfg, cn)
 
 	default:
-		return runServe(logger, cfg, *listen, *portFile, *drainTimeout)
+		return runServe(logger, cfg, *listen, *portFile, *drainTimeout, cn)
 	}
 }
 
+// drainCanary flushes the canary's queue and reports its verdict: the
+// number of divergences (0 on a healthy engine) and how many jobs were
+// cross-checked to earn it.
+func drainCanary(logger *log.Logger, cn *canary.Canary, reg *obs.Registry) (divergences int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cn.Drain(ctx); err != nil {
+		logger.Printf("canary drain: %v", err)
+	}
+	checked := reg.Counter(canary.MetricChecked).Value()
+	divergences = cn.Divergences()
+	if divergences > 0 {
+		logger.Printf("canary: %d DIVERGENCES over %d checked jobs (repro artifacts written)", divergences, checked)
+	} else {
+		logger.Printf("canary: %d jobs cross-checked, 0 divergences", checked)
+	}
+	return divergences
+}
+
 // runServe serves the API until SIGTERM/SIGINT, then drains and exits.
-func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, drainTimeout time.Duration) int {
+func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, drainTimeout time.Duration, cn *canary.Canary) int {
 	srv := serve.New(cfg)
 	srv.Start()
 
@@ -151,39 +221,76 @@ func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, dra
 		return 1
 	}
 	logger.Printf("drained cleanly; %d jobs completed since startup", completed)
+	if cn != nil && drainCanary(logger, cn, cfg.Registry) > 0 {
+		return 1
+	}
 	return 0
 }
 
 // runLoadGen replays the seeded mix, spinning up an in-process daemon when
-// no -target is given, and writes the benchreport JSON.
-func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string) int {
+// no -target is given (optionally behind chaos fault injection and with a
+// canary tapping completed jobs), and writes the benchreport JSON. A
+// failed drain or any canary divergence fails the run.
+func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string, chaosCfg *serve.ChaosConfig, cn *canary.Canary) int {
+	var srv *serve.Server
+	var hs *http.Server
 	if lg.BaseURL == "" {
-		srv := serve.New(cfg)
+		srv = serve.New(cfg)
 		srv.Start()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			logger.Printf("listen: %v", err)
 			return 1
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		var handler http.Handler = srv.Handler()
+		if chaosCfg != nil {
+			handler = serve.NewChaos(*chaosCfg, cfg.Registry).Middleware(handler)
+			logger.Printf("chaos injection armed (seed=%d, 429=%.0f%% 503=%.0f%% delay=%.0f%%)",
+				chaosCfg.Seed, 100*chaosCfg.Reject429, 100*chaosCfg.Fail503, 100*chaosCfg.LatencyRate)
+		}
+		hs = &http.Server{Handler: handler}
 		go func() { _ = hs.Serve(ln) }()
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			_, _ = srv.Drain(ctx)
-			_ = hs.Shutdown(ctx)
-		}()
 		lg.BaseURL = "http://" + ln.Addr().String()
 		logger.Printf("loadgen against in-process server %s (workers=%d)", lg.BaseURL, cfg.Workers)
 	}
 
 	res, err := serve.RunLoadGen(lg)
+
+	// Drain before judging the run: a drain failure is a real failure
+	// (jobs were lost or hung), not shutdown noise to swallow.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, derr := srv.Drain(ctx)
+		_ = hs.Shutdown(ctx)
+		cancel()
+		if derr != nil {
+			logger.Printf("drain after loadgen: %v", derr)
+			return 1
+		}
+	}
 	if err != nil {
 		logger.Printf("loadgen: %v", err)
 		return 1
 	}
+	if cn != nil {
+		res.CanaryDivergences = drainCanary(logger, cn, cfg.Registry)
+		res.CanaryChecked = cfg.Registry.Counter(canary.MetricChecked).Value()
+	}
+	// Without chaos any error is a failure. Under injected faults the bar
+	// is the acceptance criterion instead: at least 99% of retried
+	// requests must recover, and errors must stay within a 1% job budget.
 	if res.Errors > 0 {
-		logger.Printf("loadgen: %d jobs errored", res.Errors)
+		if chaosCfg == nil || float64(res.Errors) > 0.01*float64(lg.Jobs) {
+			logger.Printf("loadgen: %d jobs errored", res.Errors)
+			return 1
+		}
+		logger.Printf("loadgen: %d jobs errored under chaos (within the 1%% budget)", res.Errors)
+	}
+	if chaosCfg != nil && res.RetrySuccessPct < 99 {
+		logger.Printf("loadgen: retry success %.2f%% under chaos, want >= 99%%", res.RetrySuccessPct)
+		return 1
+	}
+	if res.CanaryDivergences > 0 {
 		return 1
 	}
 	data, err := json.MarshalIndent(res.BenchReport(), "", "  ")

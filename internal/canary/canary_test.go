@@ -1,0 +1,223 @@
+package canary
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/diffcheck"
+	"subgraph/internal/graph"
+	"subgraph/internal/obs"
+	"subgraph/internal/serve"
+)
+
+// startCanaried boots an in-process daemon with a canary on its
+// OnJobDone tap, sharing one registry.
+func startCanaried(t *testing.T, ccfg Config) (*serve.InProcess, *Canary, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ccfg.Registry = reg
+	ccfg.Logf = t.Logf
+	if ccfg.Seed == 0 {
+		ccfg.Seed = 1
+	}
+	cn := New(ccfg)
+	p, err := serve.StartInProcess(serve.Config{
+		Workers:  2,
+		Registry: reg,
+		// Cache off: every submission must execute (and so reach the tap).
+		CacheSize: -1,
+		OnJobDone: cn.OnJobDone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := p.Close(0); err != nil {
+			t.Errorf("closing daemon: %v", err)
+		}
+	})
+	return p, cn, reg
+}
+
+// uploadTriangleGraph stores a small graph with a planted triangle.
+func uploadTriangleGraph(t *testing.T, c *serve.Client, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _ := subgraph.PlantClique(subgraph.GNP(24, 0.08, rng), 3, rng)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.UploadGraph(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return up.Digest
+}
+
+func runJobs(t *testing.T, c *serve.Client, digest string, n int) {
+	t.Helper()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		jv, status, err := c.SubmitJob(serve.JobSpec{
+			Graph: digest, Pattern: "triangle",
+			Options: subgraph.OptionsSpec{Seed: seed},
+		})
+		if err != nil || status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("seed %d: (%d, %v)", seed, status, err)
+		}
+		if _, err := c.WaitJob(jv.ID, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func drain(t *testing.T, cn *Canary) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cn.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanaryCleanRun pins the healthy path: full-fraction replay of real
+// jobs raises no alarms, and small fault-free instances also get the
+// VF2 ground-truth check.
+func TestCanaryCleanRun(t *testing.T) {
+	p, cn, reg := startCanaried(t, Config{Fraction: 1, ArtifactDir: t.TempDir()})
+	digest := uploadTriangleGraph(t, p.Client, 5)
+	runJobs(t, p.Client, digest, 5)
+	drain(t, cn)
+
+	if n := reg.Counter(MetricChecked).Value(); n != 5 {
+		t.Fatalf("checked %d jobs, want 5", n)
+	}
+	if n := reg.Counter(MetricVF2Checked).Value(); n != 5 {
+		t.Fatalf("VF2-checked %d jobs, want 5 (small fault-free instances)", n)
+	}
+	if n := cn.Divergences(); n != 0 {
+		t.Fatalf("%d divergences on a healthy engine", n)
+	}
+}
+
+// TestCanaryZeroFraction pins that sampling respects the fraction.
+func TestCanaryZeroFraction(t *testing.T) {
+	p, cn, reg := startCanaried(t, Config{Fraction: 0, ArtifactDir: t.TempDir()})
+	digest := uploadTriangleGraph(t, p.Client, 6)
+	runJobs(t, p.Client, digest, 3)
+	drain(t, cn)
+	if n := reg.Counter(MetricSampled).Value(); n != 0 {
+		t.Fatalf("sampled %d jobs at fraction 0", n)
+	}
+}
+
+// TestCanaryTamperedEngine is the acceptance path: a corrupted second
+// engine (test-only hook) must raise the alarm and write a shrunk
+// artifact that replays under the diffcheck harness.
+func TestCanaryTamperedEngine(t *testing.T) {
+	dir := t.TempDir()
+	p, cn, reg := startCanaried(t, Config{
+		Fraction:    1,
+		ArtifactDir: dir,
+		// The corrupted engine: every replay flips the answer.
+		TamperSecond: func(rep *subgraph.Report) { rep.Detected = !rep.Detected },
+	})
+	digest := uploadTriangleGraph(t, p.Client, 7)
+	runJobs(t, p.Client, digest, 1)
+	drain(t, cn)
+
+	if n := cn.Divergences(); n != 1 {
+		t.Fatalf("divergences = %d, want 1 from the tampered engine", n)
+	}
+	if n := reg.Counter(MetricDivergence).Value(); n != 1 {
+		t.Fatalf("alarm counter = %d, want 1", n)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "canary-engine-equality-") {
+			path = filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		t.Fatalf("no engine-equality artifact in %s (found %v)", dir, ents)
+	}
+	art, err := diffcheck.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Oracle != "engine-equality" {
+		t.Fatalf("artifact oracle = %q", art.Oracle)
+	}
+	// The tamper hook fails every candidate identically, so the shrinker
+	// must have ground the case down hard.
+	if art.Case.N >= 24 {
+		t.Fatalf("artifact case not shrunk: n = %d (original 24)", art.Case.N)
+	}
+	// The artifact replays under the harness. The recorded divergence was
+	// an artifact of the tampered engine, so an untampered replay runs
+	// clean — what matters is that the document is a valid, executable
+	// diffcheck case.
+	if err := diffcheck.Replay(path); err != nil {
+		t.Fatalf("artifact does not replay: %v", err)
+	}
+}
+
+// TestCanaryDropsWhenBehind pins the non-blocking contract: a full
+// canary queue drops samples instead of stalling the tap.
+func TestCanaryDropsWhenBehind(t *testing.T) {
+	reg := obs.NewRegistry()
+	cn := New(Config{Fraction: 1, QueueDepth: 1, Registry: reg, Seed: 1})
+	// Saturate the queue with taps faster than the worker drains: use a
+	// job the worker will chew on (large-ish graph), then overflow.
+	rng := rand.New(rand.NewSource(9))
+	g, _ := subgraph.PlantClique(subgraph.GNP(60, 0.1, rng), 3, rng)
+	nw := subgraph.NewNetwork(g)
+	h, err := subgraph.ParsePattern("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := subgraph.Detect(nw, h, subgraph.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := json.Marshal(rep.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd := serve.JobDone{
+		ID: "j-000001", Digest: "x", Pattern: "triangle", Network: nw,
+		Options: subgraph.OptionsSpec{Seed: 1},
+		Result: &serve.JobResult{Detected: rep.Detected, Algorithm: rep.Algorithm,
+			Rounds: rep.Rounds, BandwidthBits: rep.BandwidthBits, Stats: stats},
+	}
+	for i := 0; i < 50; i++ {
+		cn.OnJobDone(jd)
+	}
+	drain(t, cn)
+	sampled := reg.Counter(MetricSampled).Value()
+	dropped := reg.Counter(MetricDropped).Value()
+	checked := reg.Counter(MetricChecked).Value()
+	if sampled != 50 {
+		t.Fatalf("sampled = %d, want 50", sampled)
+	}
+	if checked+dropped != sampled || dropped == 0 {
+		t.Fatalf("checked %d + dropped %d != sampled %d (or nothing dropped)", checked, dropped, sampled)
+	}
+	if n := cn.Divergences(); n != 0 {
+		t.Fatalf("%d divergences replaying an honest result", n)
+	}
+}

@@ -2,9 +2,11 @@ package diffcheck
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sync"
 	"time"
 
@@ -70,6 +72,12 @@ var exactAlgorithms = map[string]bool{
 	"edge-collection":            true,
 	"local-ball-collection":      true,
 }
+
+// ExactAlgorithm reports whether the named detector's answers are
+// two-sided exact. Exported for the runtime canary, which applies the
+// same one-sided/two-sided logic to production results that the
+// ground-truth oracle applies to generated cases.
+func ExactAlgorithm(name string) bool { return exactAlgorithms[name] }
 
 // faultFree reports whether the case's effective fault plan is empty.
 func faultFree(c *Case) bool {
@@ -217,6 +225,12 @@ func Oracles() []Oracle {
 			Doc:     "the result cache never exceeds its capacity; size ≤ 0 disables it",
 			Applies: always,
 			Check:   checkCacheBound,
+		},
+		{
+			Name:    "drain-under-fire",
+			Doc:     "draining mid-burst completes every admitted job with the library answer; late submits bounce 503",
+			Applies: always,
+			Check:   checkDrainUnderFire,
 		},
 	}
 }
@@ -496,6 +510,117 @@ func checkServeRoundtrip(h *Harness, c *Case) error {
 	}
 	if jv2.Result == nil || !bytes.Equal([]byte(jv2.Result.Stats), libStats) {
 		return fmt.Errorf("cached result's stats differ from the original execution")
+	}
+	return nil
+}
+
+// checkDrainUnderFire boots a dedicated one-worker daemon, fires a burst
+// of case jobs at it, and begins draining while they are (typically)
+// still queued. The drain contract it pins: every job the daemon
+// admitted reaches a terminal state whose result is byte-identical to a
+// fresh library run (or fails with the library's error — crash-fault
+// cases exercise exactly this during the drain), submissions after
+// BeginDrain bounce with 503, and Drain itself completes. A dedicated
+// server is required because draining is one-way.
+func checkDrainUnderFire(_ *Harness, c *Case) error {
+	srv, err := serve.StartInProcess(serve.Config{
+		Workers:    1,
+		QueueDepth: 8,
+		// Cache off so every seed runs the engine for real.
+		CacheSize: -1,
+	})
+	if err != nil {
+		return fmt.Errorf("starting dedicated daemon: %w", err)
+	}
+	defer func() { _ = srv.Close(30 * time.Second) }()
+
+	g, err := c.Graph()
+	if err != nil {
+		return err
+	}
+	var edgeList bytes.Buffer
+	if err := subgraph.WriteEdgeList(&edgeList, g); err != nil {
+		return err
+	}
+	// Raw statuses matter here (the post-drain 503 especially); a
+	// retrying client would paper over the admission decisions under test.
+	raw := &serve.Client{Base: srv.BaseURL, Retry: serve.NoRetry()}
+	up, err := raw.UploadGraph(edgeList.String())
+	if err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+
+	const burst = 3
+	ids := make([]string, 0, burst)
+	seeds := make([]int64, 0, burst)
+	for i := int64(0); i < burst; i++ {
+		spec := c.Options
+		spec.Seed = c.Options.Seed + i
+		jv, status, err := raw.SubmitJob(serve.JobSpec{
+			Graph:   up.Digest,
+			Pattern: c.Pattern,
+			Options: spec,
+		})
+		if err != nil {
+			return fmt.Errorf("burst submit %d: %w", i, err)
+		}
+		if status != http.StatusAccepted && status != http.StatusOK {
+			return fmt.Errorf("burst submit %d: HTTP %d on an 8-deep queue", i, status)
+		}
+		ids = append(ids, jv.ID)
+		seeds = append(seeds, spec.Seed)
+	}
+
+	// Drain begins while the single worker is (at most) one job in.
+	srv.Server.BeginDrain()
+
+	lateSpec := c.Options
+	lateSpec.Seed = c.Options.Seed + 99
+	if _, status, err := raw.SubmitJob(serve.JobSpec{Graph: up.Digest, Pattern: c.Pattern, Options: lateSpec}); status != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain submit answered HTTP %d (%v), want 503", status, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := srv.Server.Drain(ctx); err != nil {
+		return fmt.Errorf("drain did not complete: %w", err)
+	}
+
+	for i, id := range ids {
+		jv, err := raw.WaitJob(id, 10*time.Second)
+		if err != nil {
+			return fmt.Errorf("admitted job %s lost across the drain: %w", id, err)
+		}
+		libRep, libErr := detectCase(c, func(o *subgraph.Options) { o.Seed = seeds[i] })
+		if jv.State == serve.StateFailed {
+			if libErr != nil && libErr.Error() == jv.Error {
+				continue
+			}
+			return fmt.Errorf("drained job %s failed (%s) but the library says %v", id, jv.Error, libErr)
+		}
+		if jv.State != serve.StateDone || jv.Result == nil {
+			return fmt.Errorf("admitted job %s ended %s with no result after drain", id, jv.State)
+		}
+		if libErr != nil {
+			return fmt.Errorf("drained job %s succeeded but the library fails: %v", id, libErr)
+		}
+		res := jv.Result
+		if res.Partial {
+			return fmt.Errorf("drained job %s returned a partial result for a case the library completes (%s)", id, res.AbortReason)
+		}
+		if res.Detected != libRep.Detected || res.Algorithm != libRep.Algorithm ||
+			res.Rounds != libRep.Rounds || res.BandwidthBits != libRep.BandwidthBits {
+			return fmt.Errorf("drained job %s (detected=%v alg=%s rounds=%d bw=%d) != library (detected=%v alg=%s rounds=%d bw=%d)",
+				id, res.Detected, res.Algorithm, res.Rounds, res.BandwidthBits,
+				libRep.Detected, libRep.Algorithm, libRep.Rounds, libRep.BandwidthBits)
+		}
+		libStats, err := statsJSON(libRep)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal([]byte(res.Stats), libStats) {
+			return fmt.Errorf("drained job %s stats diverge from the library run:\n  daemon:  %s\n  library: %s", id, res.Stats, libStats)
+		}
 	}
 	return nil
 }

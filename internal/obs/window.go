@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window is a time-windowed fixed-bucket histogram: observations older
+// than the window fall out of every quantile and mean, so a long-running
+// daemon can answer "what is the p99 over the last 30 seconds" without
+// unbounded state. It is the data structure behind the serve layer's
+// SLO-driven admission control.
+//
+// Internally the window is a ring of slot histograms. Each slot covers
+// span/slots of wall time; an Observe lands in the slot the clock is
+// currently in, and reads merge every slot still inside the window,
+// discarding expired ones lazily. Memory is O(slots × buckets) and all
+// operations are O(buckets).
+//
+// Quantile answers are bucket-resolution estimates (linear interpolation
+// inside the containing bucket), which is exactly what an SLO comparison
+// needs: deterministic given the observations and the clock, and
+// monotone in the true quantile.
+type Window struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending bucket upper bounds; an implicit +Inf bucket follows
+	slots   []windowSlot
+	slotDur time.Duration
+	now     func() time.Time // injectable for tests; time.Now by default
+}
+
+type windowSlot struct {
+	epoch  int64 // slot index since the Unix epoch; -1 = never used
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// NewWindow returns a window covering roughly span of wall time, split
+// into slots ring entries (more slots = smoother expiry; 8–16 is
+// typical), bucketed by the ascending upper bounds. span and slots are
+// clamped to sane minimums; bounds are copied and sorted.
+func NewWindow(span time.Duration, slots int, bounds []float64) *Window {
+	if slots < 2 {
+		slots = 2
+	}
+	if span < time.Duration(slots) {
+		span = time.Second
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	w := &Window{
+		bounds:  bs,
+		slots:   make([]windowSlot, slots),
+		slotDur: span / time.Duration(slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i] = windowSlot{epoch: -1, counts: make([]int64, len(bs)+1)}
+	}
+	return w
+}
+
+// SetClock replaces the window's time source — the deterministic-test
+// hook. Call before the first Observe; not safe to swap concurrently
+// with use.
+func (w *Window) SetClock(now func() time.Time) { w.now = now }
+
+// epochNow returns the current slot index.
+func (w *Window) epochNow() int64 {
+	return w.now().UnixNano() / int64(w.slotDur)
+}
+
+// slotFor rotates the ring to the current epoch and returns the live
+// slot. Caller holds w.mu.
+func (w *Window) slotFor(epoch int64) *windowSlot {
+	s := &w.slots[int(epoch%int64(len(w.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count = 0
+		s.sum = 0
+	}
+	return s
+}
+
+// Observe records x into the current slot.
+func (w *Window) Observe(x float64) {
+	i := sort.SearchFloat64s(w.bounds, x) // first bound >= x
+	epoch := w.epochNow()
+	w.mu.Lock()
+	s := w.slotFor(epoch)
+	s.counts[i]++
+	s.count++
+	s.sum += x
+	w.mu.Unlock()
+}
+
+// merged folds every in-window slot into one histogram. Caller holds
+// w.mu.
+func (w *Window) merged(epoch int64) (counts []int64, count int64, sum float64) {
+	oldest := epoch - int64(len(w.slots)) + 1
+	counts = make([]int64, len(w.bounds)+1)
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.epoch < oldest || s.epoch > epoch || s.epoch < 0 {
+			continue
+		}
+		for b, c := range s.counts {
+			counts[b] += c
+		}
+		count += s.count
+		sum += s.sum
+	}
+	return counts, count, sum
+}
+
+// Count returns the number of in-window observations.
+func (w *Window) Count() int64 {
+	epoch := w.epochNow()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, count, _ := w.merged(epoch)
+	return count
+}
+
+// Mean returns the in-window mean, and false when the window is empty.
+func (w *Window) Mean() (float64, bool) {
+	epoch := w.epochNow()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, count, sum := w.merged(epoch)
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}
+
+// Quantile estimates the q-th quantile (q in (0,1]) of the in-window
+// observations by nearest rank over the buckets, interpolating linearly
+// inside the containing bucket. Observations beyond the last bound
+// resolve to +Inf (they are at least that large — the conservative
+// answer for an SLO breach check). Returns false when the window holds
+// no observations.
+func (w *Window) Quantile(q float64) (float64, bool) {
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	epoch := w.epochNow()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	counts, count, _ := w.merged(epoch)
+	if count == 0 {
+		return 0, false
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if b >= len(w.bounds) {
+			return math.Inf(1), true
+		}
+		lo := 0.0
+		if b > 0 {
+			lo = w.bounds[b-1]
+		}
+		hi := w.bounds[b]
+		// Position of the rank inside this bucket's c observations.
+		frac := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac, true
+	}
+	return math.Inf(1), true // unreachable: cum == count >= rank
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at base and
+// multiplying by factor — the generator for latency SLO windows (e.g.
+// base 0.5ms, factor √2 spans 0.5ms to ~90s in 36 buckets).
+func ExpBuckets(base, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	x := base
+	for i := 0; i < n; i++ {
+		out = append(out, x)
+		x *= factor
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for Window tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestWindow(span time.Duration, slots int, bounds []float64) (*Window, *fakeClock) {
+	w := NewWindow(span, slots, bounds)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w.SetClock(clk.now)
+	return w, clk
+}
+
+func TestWindowQuantileBasics(t *testing.T) {
+	w, _ := newTestWindow(10*time.Second, 5, []float64{10, 20, 40, 80})
+	if _, ok := w.Quantile(0.99); ok {
+		t.Fatal("empty window reported a quantile")
+	}
+	for i := 0; i < 99; i++ {
+		w.Observe(5) // all in the first bucket
+	}
+	w.Observe(70) // one in the (40,80] bucket
+	if n := w.Count(); n != 100 {
+		t.Fatalf("Count = %d, want 100", n)
+	}
+	p50, ok := w.Quantile(0.50)
+	if !ok || p50 > 10 {
+		t.Fatalf("p50 = %v (ok=%v), want ≤ 10", p50, ok)
+	}
+	p99, _ := w.Quantile(0.99)
+	if p99 > 10 {
+		t.Fatalf("p99 = %v, want inside the first bucket (99/100 observations are 5)", p99)
+	}
+	p100, _ := w.Quantile(1)
+	if p100 <= 40 || p100 > 80 {
+		t.Fatalf("p100 = %v, want in (40,80]", p100)
+	}
+	mean, ok := w.Mean()
+	if !ok || math.Abs(mean-(99*5+70)/100.0) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", mean, (99*5+70)/100.0)
+	}
+}
+
+func TestWindowOverflowIsInf(t *testing.T) {
+	w, _ := newTestWindow(10*time.Second, 5, []float64{10, 20})
+	w.Observe(1000)
+	q, ok := w.Quantile(0.99)
+	if !ok || !math.IsInf(q, 1) {
+		t.Fatalf("quantile of an overflow observation = (%v, %v), want +Inf", q, ok)
+	}
+}
+
+// TestWindowExpiry pins the rolling property: observations older than the
+// window stop influencing quantiles.
+func TestWindowExpiry(t *testing.T) {
+	w, clk := newTestWindow(10*time.Second, 5, []float64{10, 100, 1000})
+	for i := 0; i < 50; i++ {
+		w.Observe(500) // slow era
+	}
+	if q, _ := w.Quantile(0.99); q <= 100 {
+		t.Fatalf("slow-era p99 = %v, want > 100", q)
+	}
+	// Advance past the window; the slow era must be forgotten.
+	clk.advance(11 * time.Second)
+	if n := w.Count(); n != 0 {
+		t.Fatalf("after expiry Count = %d, want 0", n)
+	}
+	w.Observe(5)
+	if q, _ := w.Quantile(0.99); q > 10 {
+		t.Fatalf("post-expiry p99 = %v, want ≤ 10 (old observations leaked)", q)
+	}
+}
+
+// TestWindowPartialExpiry pins slot-granular expiry: recent slots survive
+// while older ones roll off.
+func TestWindowPartialExpiry(t *testing.T) {
+	w, clk := newTestWindow(10*time.Second, 5, []float64{10, 100, 1000})
+	for i := 0; i < 40; i++ {
+		w.Observe(500)
+	}
+	clk.advance(6 * time.Second) // still inside the window
+	for i := 0; i < 10; i++ {
+		w.Observe(5)
+	}
+	if q, _ := w.Quantile(0.99); q <= 100 {
+		t.Fatalf("mixed-era p99 = %v, want > 100 while the slow era is in-window", q)
+	}
+	clk.advance(6 * time.Second) // slow era out, fast era still in
+	if q, _ := w.Quantile(0.99); q > 10 {
+		t.Fatalf("after the slow era expired p99 = %v, want ≤ 10", q)
+	}
+	if n := w.Count(); n != 10 {
+		t.Fatalf("Count after partial expiry = %d, want 10", n)
+	}
+}
+
+// TestWindowRingReuse pins that a slot index reused in a later epoch does
+// not resurrect old counts.
+func TestWindowRingReuse(t *testing.T) {
+	w, clk := newTestWindow(time.Second, 2, []float64{10})
+	w.Observe(5)
+	clk.advance(30 * time.Second) // same ring index, far later epoch
+	w.Observe(5)
+	if n := w.Count(); n != 1 {
+		t.Fatalf("Count = %d after ring reuse, want 1", n)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

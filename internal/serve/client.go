@@ -2,20 +2,37 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 )
 
-// Client is a minimal typed client for the subgraphd HTTP API, shared by
-// the selfcheck harness, the load generator, and the tests.
+// Client is a typed client for the subgraphd HTTP API, shared by the
+// selfcheck harness, the load generator, and the tests. The zero value
+// (plus Base) retries transient failures under DefaultRetryPolicy; set
+// Retry to NoRetry() to assert on raw statuses.
+//
+// A Client must not be copied after first use (it owns retry statistics
+// and a jitter source).
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTPClient defaults to a client with a 30s request timeout.
 	HTTPClient *http.Client
+	// Retry tunes retries; nil means DefaultRetryPolicy.
+	Retry *RetryPolicy
+
+	// Stats counts attempts and retry outcomes.
+	Stats ClientStats
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source, seeded from the policy
 }
 
 func (c *Client) http() *http.Client {
@@ -25,30 +42,108 @@ func (c *Client) http() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
-// do issues a request and decodes the JSON response into out (when
-// non-nil), returning the HTTP status.
+func (c *Client) policy() RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry.withDefaults()
+	}
+	return DefaultRetryPolicy()
+}
+
+// jitter returns a uniform [0,1) variate from the client's seeded source.
+func (c *Client) jitterRand(seed int64) *rand.Rand {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	return c.rng
+}
+
+// do issues a request under the client's retry policy and decodes the
+// JSON response into out (when non-nil), returning the HTTP status.
 func (c *Client) do(method, path, contentType string, body []byte, out any) (int, error) {
-	req, err := http.NewRequest(method, c.Base+path, bytes.NewReader(body))
+	return c.doPolicy(c.policy(), method, path, contentType, body, out)
+}
+
+// doPolicy is do with an explicit policy. Connection errors and
+// retryable statuses (429/502/503/504) are re-attempted with jittered
+// exponential backoff, honoring Retry-After up to the policy cap. The
+// body is replayed from the byte slice on every attempt, and job
+// submissions are idempotent server-side (content-addressed coalescing +
+// result cache), so retrying is safe for every endpoint.
+func (c *Client) doPolicy(p RetryPolicy, method, path, contentType string, body []byte, out any) (int, error) {
+	var (
+		status     int
+		err        error
+		retryAfter time.Duration
+		err429     error
+		saw429     bool
+	)
+	for attempt := 1; ; attempt++ {
+		c.Stats.Attempts.Add(1)
+		status, retryAfter, err = c.attempt(p, method, path, contentType, body, out)
+		if status == http.StatusTooManyRequests {
+			saw429, err429 = true, err
+		}
+		retryable := status == 0 || retryableStatus(status)
+		if !retryable {
+			if attempt > 1 && err == nil && status < 300 {
+				c.Stats.Recovered.Add(1)
+			}
+			return status, err
+		}
+		if attempt >= p.MaxAttempts {
+			if saw429 {
+				// The server applied backpressure at least once in this
+				// chain; that — not whichever transient fault happened to
+				// land last — is the meaningful terminal answer.
+				c.Stats.Exhausted429.Add(1)
+				if status != http.StatusTooManyRequests {
+					return http.StatusTooManyRequests, err429
+				}
+				return status, err
+			}
+			c.Stats.ExhaustedTransient.Add(1)
+			return status, err
+		}
+		c.Stats.Retries.Add(1)
+		rng := c.jitterRand(p.Seed)
+		c.mu.Lock()
+		d := p.backoff(attempt, retryAfter, rng)
+		c.mu.Unlock()
+		p.Sleep(d)
+	}
+}
+
+// attempt issues one HTTP attempt. status 0 means the request never got
+// an HTTP response (connection error / timeout).
+func (c *Client) attempt(p RetryPolicy, method, path, contentType string, body []byte, out any) (status int, retryAfter time.Duration, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.PerAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra > 0 {
+		retryAfter = time.Duration(ra) * time.Second
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
 	if out != nil {
 		// Error responses still decode (best effort): /healthz answers 503
 		// with a meaningful view while draining.
 		if err := json.Unmarshal(data, out); err != nil && resp.StatusCode < 300 {
-			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+			return resp.StatusCode, retryAfter, fmt.Errorf("decoding %s %s response: %w", method, path, err)
 		}
 	}
 	if resp.StatusCode >= 300 && out != nil {
@@ -56,16 +151,19 @@ func (c *Client) do(method, path, contentType string, body []byte, out any) (int
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return resp.StatusCode, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			return resp.StatusCode, retryAfter,
+				fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
 }
 
-// Health fetches /healthz.
+// Health fetches /healthz. It never retries: a health probe's job is to
+// report the current state (a draining server's 503 is the answer, not a
+// failure).
 func (c *Client) Health() (HealthView, int, error) {
 	var v HealthView
-	status, err := c.do("GET", "/healthz", "", nil, &v)
+	status, err := c.doPolicy(*NoRetry(), "GET", "/healthz", "", nil, &v)
 	return v, status, err
 }
 
@@ -110,19 +208,35 @@ func (c *Client) Job(id string) (JobView, error) {
 }
 
 // WaitJob polls until the job reaches a terminal state or the timeout
-// elapses.
+// elapses. Transient poll failures (connection errors, 5xx, 429) do not
+// abort the wait — the job keeps running server-side regardless, so the
+// poll is retried at the next tick; only a definitive client error (e.g.
+// 404 for an unknown id) returns early.
 func (c *Client) WaitJob(id string, timeout time.Duration) (JobView, error) {
 	deadline := time.Now().Add(timeout)
 	delay := 2 * time.Millisecond
+	var lastErr error
 	for {
-		v, err := c.Job(id)
-		if err != nil {
+		var v JobView
+		status, err := c.do("GET", "/v1/jobs/"+id, "", nil, &v)
+		switch {
+		case err == nil && status == http.StatusOK:
+			if v.State == StateDone || v.State == StateFailed {
+				return v, nil
+			}
+			lastErr = nil
+		case status >= 400 && status < 500 && status != http.StatusTooManyRequests:
+			if err == nil {
+				err = fmt.Errorf("job %s: HTTP %d", id, status)
+			}
 			return v, err
-		}
-		if v.State == StateDone || v.State == StateFailed {
-			return v, nil
+		default:
+			lastErr = err
 		}
 		if time.Now().After(deadline) {
+			if lastErr != nil {
+				return v, fmt.Errorf("job %s: polling kept failing for %v: %w", id, timeout, lastErr)
+			}
 			return v, fmt.Errorf("job %s still %s after %v", id, v.State, timeout)
 		}
 		time.Sleep(delay)

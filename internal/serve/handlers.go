@@ -200,21 +200,37 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter(MetricCacheMisses).Inc()
 	}
 
+	// SLO load shedding: under degradation, below-threshold priorities are
+	// bounced before they can occupy queue or workers.
+	if s.slo.shouldShed(spec.Priority) {
+		s.reg.Counter(MetricJobsShed).Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeErr(w, http.StatusTooManyRequests,
+			"shedding %s-priority load: p99 over budget; retry later", displayPriority(spec.Priority))
+		return
+	}
+
 	// Register before enqueue: a worker may pick the job up (and even
 	// finish it) the instant it lands in the queue, and it must already be
 	// pollable by ID at that point. Rejected jobs are unregistered.
-	s.register(j)
+	if existing := s.register(j); existing != nil {
+		// An identical spec is already queued or running — answer with
+		// that job instead of executing twice (idempotent retry path).
+		w.Header().Set("Location", "/v1/jobs/"+existing.id)
+		writeJSON(w, http.StatusAccepted, existing.view())
+		return
+	}
 	queued, draining := s.enqueue(j)
 	switch {
 	case draining:
-		s.unregister(j.id)
+		s.unregister(j)
 		s.reg.Counter(MetricJobsDraining).Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is draining; submit elsewhere")
 		return
 	case !queued:
-		s.unregister(j.id)
+		s.unregister(j)
 		s.reg.Counter(MetricJobsRejected).Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests,
 			"queue saturated (%d jobs); retry later", s.cfg.QueueDepth)
 		return

@@ -27,6 +27,11 @@ type JobSpec struct {
 	// /v1/jobs/{id}/trace once the job is done. Traced jobs are never
 	// answered from cache (the trace documents a real execution).
 	Trace bool `json:"trace,omitempty"`
+	// Priority is "low", "normal" (or empty), or "high". Under SLO
+	// degradation the server sheds low-priority jobs first (see slo.go).
+	// Priority is deliberately not part of the result cache key: it
+	// affects admission, never the answer.
+	Priority string `json:"priority,omitempty"`
 }
 
 // JobResult is the wire form of a finished job's payload.
@@ -79,19 +84,24 @@ type JobView struct {
 	TraceTruncated bool `json:"trace_truncated,omitempty"`
 	// DurationMs is the execution wall time (done/failed jobs).
 	DurationMs int64 `json:"duration_ms,omitempty"`
+	// Priority echoes the submitted priority (empty = normal).
+	Priority string `json:"priority,omitempty"`
 }
 
 // job is the server-side job record.
 type job struct {
-	id      string
-	digest  string // graph digest
-	pattern string // normalized pattern spec as submitted
-	g       *subgraph.Network
-	h       *subgraph.Graph
-	opts    subgraph.Options     // effective options (deadline capped)
-	optSpec subgraph.OptionsSpec // wire form of opts, for views
-	key     string               // cache key
-	trace   bool
+	id       string
+	digest   string // graph digest
+	pattern  string // normalized pattern spec as submitted
+	g        *subgraph.Network
+	h        *subgraph.Graph
+	opts     subgraph.Options     // effective options (deadline capped)
+	optSpec  subgraph.OptionsSpec // wire form of opts, for views
+	key      string               // cache key
+	trace    bool
+	priority string
+
+	enqueuedAt time.Time // set under Server.mu when admitted to the queue
 
 	mu         sync.Mutex
 	state      string
@@ -126,6 +136,7 @@ func (j *job) view() JobView {
 		Trace:          len(j.traceBytes) > 0,
 		TraceTruncated: j.traceTrunc,
 		DurationMs:     j.durationMs,
+		Priority:       j.priority,
 	}
 }
 
@@ -142,6 +153,9 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 	opts, err := spec.Options.Options()
 	if err != nil {
 		return nil, badRequest(err.Error())
+	}
+	if !validPriority(spec.Priority) {
+		return nil, badRequest(fmt.Sprintf("unknown priority %q (want low, normal, or high)", spec.Priority))
 	}
 	// Server-side deadline cap: every job runs under the engine's
 	// wall-clock deadline machinery.
@@ -191,6 +205,7 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 		optSpec:  effective,
 		key:      key,
 		trace:    spec.Trace,
+		priority: spec.Priority,
 		state:    StateQueued,
 		finished: make(chan struct{}),
 	}, nil
@@ -257,16 +272,30 @@ func (s *Server) runJob(j *job) {
 		j.state = StateDone
 		j.result = res
 		s.reg.Counter(MetricJobsCompleted).Inc()
+		wall := time.Since(started)
 		s.reg.Histogram(HistJobWallNs, JobWallBuckets).
-			Observe(float64(time.Since(started).Nanoseconds()))
+			Observe(float64(wall.Nanoseconds()))
+		s.slo.observeLatency(wall)
 		// Complete, fault-of-nothing runs are reusable; partial
 		// (deadline-shaped) results are not.
 		if !res.Partial {
 			s.cache.Put(j.key, res)
 		}
 	}
+	result, state := j.result, j.state
 	j.mu.Unlock()
 	close(j.finished)
+	s.clearInflight(j)
+	if s.cfg.OnJobDone != nil && state == StateDone && !result.Partial {
+		s.cfg.OnJobDone(JobDone{
+			ID:      j.id,
+			Digest:  j.digest,
+			Pattern: j.pattern,
+			Network: j.g,
+			Options: j.optSpec,
+			Result:  result,
+		})
+	}
 }
 
 // cappedWriter buffers writes up to max bytes and silently discards the

@@ -33,6 +33,11 @@ type LoadGenConfig struct {
 	// RepeatFraction is the probability a job repeats an earlier job
 	// verbatim, exercising the result cache (default 0.5).
 	RepeatFraction float64
+	// LowPriorityFraction is the probability a job is submitted at low
+	// priority — the first tier the SLO guard sheds under pressure.
+	LowPriorityFraction float64
+	// Retry overrides the client's retry policy (nil = defaults).
+	Retry *RetryPolicy
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -70,6 +75,31 @@ type LoadGenResult struct {
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	HitRatePct  float64 `json:"cache_hit_rate_pct"`
+
+	// Robustness columns (PR 6).
+
+	// Shed counts jobs whose submission ultimately came back 429 — the
+	// server's honest "not now" (SLO shedding or a saturated queue) after
+	// the client's backoff budget. Sheds are not errors.
+	Shed int `json:"shed"`
+	// ShedRatePct is Shed over the requested job count.
+	ShedRatePct float64 `json:"shed_rate_pct"`
+	// ServerSheds is the server-side SLO shed counter delta (each retried
+	// submission that is shed again counts once more).
+	ServerSheds int64 `json:"server_sheds"`
+	// Retries / Recovered / RetrySuccessPct mirror the client's
+	// ClientStatsView over the whole run.
+	Retries         int64   `json:"client_retries"`
+	Recovered       int64   `json:"client_recovered"`
+	RetrySuccessPct float64 `json:"client_retry_success_pct"`
+	// Chaos injection counters (zero when no chaos middleware is wired).
+	Chaos429    int64 `json:"chaos_429"`
+	Chaos503    int64 `json:"chaos_503"`
+	ChaosDelays int64 `json:"chaos_delays"`
+	// Canary columns, filled in by the caller after draining the canary
+	// (the run's own metrics snapshot would race the canary worker).
+	CanaryChecked     int64 `json:"canary_checked"`
+	CanaryDivergences int64 `json:"canary_divergences"`
 }
 
 // benchReport mirrors cmd/benchreport's JSON document so loadgen baselines
@@ -113,6 +143,13 @@ func (r *LoadGenResult) BenchReport() any {
 			{Name: "ServeJobLatencyMean", NsPerOp: float64(r.MeanNs)},
 			{Name: "ServeJobThroughput", NsPerOp: perJob},
 			{Name: "ServeCacheHitRatePct", NsPerOp: r.HitRatePct},
+			{Name: "ServeShedRatePct", NsPerOp: r.ShedRatePct},
+			{Name: "ClientRetriesTotal", NsPerOp: float64(r.Retries)},
+			{Name: "ClientRetrySuccessPct", NsPerOp: r.RetrySuccessPct},
+			{Name: "ChaosInjected429Total", NsPerOp: float64(r.Chaos429)},
+			{Name: "ChaosInjected503Total", NsPerOp: float64(r.Chaos503)},
+			{Name: "CanaryCheckedTotal", NsPerOp: float64(r.CanaryChecked)},
+			{Name: "CanaryDivergenceTotal", NsPerOp: float64(r.CanaryDivergences)},
 		},
 	}
 }
@@ -125,11 +162,19 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	c := &Client{Base: cfg.BaseURL, HTTPClient: &http.Client{Timeout: 60 * time.Second}}
+	c := &Client{Base: cfg.BaseURL, HTTPClient: &http.Client{Timeout: 60 * time.Second}, Retry: cfg.Retry}
 
 	// Seeded topology mix: GNP backgrounds with planted triangles,
 	// 4-cycles, and 4-cliques so every pattern in the job mix has both
 	// positive and negative instances.
+	// Uploads are few and abort the whole run on failure, so they get a
+	// more patient policy than the per-job submissions.
+	uploadPolicy := c.policy()
+	if uploadPolicy.MaxAttempts < 8 {
+		uploadPolicy.MaxAttempts = 8
+	}
+	uc := &Client{Base: cfg.BaseURL, HTTPClient: c.HTTPClient, Retry: &uploadPolicy}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	digests := make([]string, 0, cfg.Graphs)
 	for i := 0; i < cfg.Graphs; i++ {
@@ -146,7 +191,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 		if err := graph.WriteEdgeList(&buf, g); err != nil {
 			return nil, err
 		}
-		up, err := c.UploadGraph(buf.String())
+		up, err := uc.UploadGraph(buf.String())
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: uploading graph %d: %w", i, err)
 		}
@@ -166,6 +211,9 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 			Pattern: patterns[rng.Intn(len(patterns))],
 			Options: subgraph.OptionsSpec{Seed: int64(rng.Intn(16))},
 		}
+		if rng.Float64() < cfg.LowPriorityFraction {
+			specs[i].Priority = PriorityLow
+		}
 	}
 
 	before, err := c.Metrics()
@@ -174,7 +222,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	}
 
 	latencies := make([]int64, cfg.Jobs)
-	var errs, retried int64
+	var errs, shed int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -185,18 +233,17 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 			defer wg.Done()
 			for i := range next {
 				t0 := time.Now()
-				var jv JobView
-				var status int
-				var err error
-				for attempt := 0; ; attempt++ {
-					jv, status, err = c.SubmitJob(specs[i])
-					if status != http.StatusTooManyRequests || attempt >= 50 {
-						break
-					}
+				// The client owns transient failures: capped exponential
+				// backoff, Retry-After honored, per-attempt timeouts. What
+				// comes back here is the server's settled answer.
+				jv, status, err := c.SubmitJob(specs[i])
+				if status == http.StatusTooManyRequests {
+					// An honest final 429 is backpressure doing its job
+					// (SLO shedding or a saturated queue), not an error.
 					mu.Lock()
-					retried++
+					shed++
 					mu.Unlock()
-					time.Sleep(5 * time.Millisecond)
+					continue
 				}
 				if err != nil || (status != http.StatusOK && status != http.StatusAccepted) {
 					mu.Lock()
@@ -236,11 +283,19 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 		}
 	}
 	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	cs := c.Stats.View()
 	res := &LoadGenResult{
-		Jobs:       len(ok),
-		Errors:     int(errs),
-		Retried429: int(retried),
-		WallNs:     wall.Nanoseconds(),
+		Jobs:            len(ok),
+		Errors:          int(errs),
+		Retried429:      int(cs.Exhausted429),
+		WallNs:          wall.Nanoseconds(),
+		Shed:            int(shed),
+		Retries:         cs.Retries,
+		Recovered:       cs.Recovered,
+		RetrySuccessPct: cs.RetrySuccessPct,
+	}
+	if cfg.Jobs > 0 {
+		res.ShedRatePct = 100 * float64(shed) / float64(cfg.Jobs)
 	}
 	if len(ok) > 0 {
 		var sum int64
@@ -258,10 +313,18 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
 		res.HitRatePct = 100 * float64(res.CacheHits) / float64(total)
 	}
-	logf("replayed %d jobs in %v: %.1f jobs/s, p50 %v, p99 %v, cache hit rate %.1f%%, %d errors",
+	delta := func(name string) int64 {
+		return after.Metrics.Counters[name] - before.Metrics.Counters[name]
+	}
+	res.ServerSheds = delta(MetricJobsShed)
+	res.Chaos429 = delta(MetricChaos429)
+	res.Chaos503 = delta(MetricChaos503)
+	res.ChaosDelays = delta(MetricChaosDelay)
+	logf("replayed %d jobs in %v: %.1f jobs/s, p50 %v, p99 %v, cache hit rate %.1f%%, %d shed, %d retries (%.1f%% recovered), %d errors",
 		res.Jobs, wall.Round(time.Millisecond), res.JobsPerSec,
 		time.Duration(res.P50Ns).Round(time.Microsecond),
-		time.Duration(res.P99Ns).Round(time.Microsecond), res.HitRatePct, res.Errors)
+		time.Duration(res.P99Ns).Round(time.Microsecond), res.HitRatePct,
+		res.Shed, res.Retries, res.RetrySuccessPct, res.Errors)
 	return res, nil
 }
 

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy is the client-side resilience contract: capped exponential
+// backoff with deterministic jitter, honoring the server's Retry-After
+// (itself capped, so a hostile or confused server cannot park the client),
+// and a per-attempt timeout so one hung connection never consumes the
+// whole retry budget.
+//
+// Retrying a job submission is safe by construction: job specs are
+// content-addressed, and the server coalesces an identical non-traced
+// spec onto the already-queued/running execution (and answers repeats
+// from the result cache after that), so a retried POST /v1/jobs never
+// runs the engine twice.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Jitter spreads each delay by ±Jitter fraction (default 0.2).
+	Jitter float64
+	// PerAttemptTimeout bounds each individual HTTP attempt
+	// (default 10s).
+	PerAttemptTimeout time.Duration
+	// MaxRetryAfter caps how long a server-sent Retry-After is honored
+	// (default 5s).
+	MaxRetryAfter time.Duration
+	// Seed makes the jitter sequence deterministic (default 1).
+	Seed int64
+	// Sleep is the wait function; nil means time.Sleep (tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is what a zero-value Client uses: a transient
+// connection error or backpressure status no longer surfaces to callers
+// until the budget below is exhausted.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.withDefaults() }
+
+// NoRetry is the single-attempt policy for callers asserting on raw
+// statuses (health probes, saturation checks).
+func NoRetry() *RetryPolicy {
+	p := RetryPolicy{MaxAttempts: 1}.withDefaults()
+	return &p
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter <= 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.PerAttemptTimeout <= 0 {
+		p.PerAttemptTimeout = 10 * time.Second
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 5 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// retryableStatus lists the statuses worth another attempt: explicit
+// backpressure (429) and the transient 5xx family a proxy or restarting
+// server emits. 500 is deliberately excluded — it marks a bug, and
+// hammering a buggy endpoint helps nobody.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the jittered delay before retry number n (1-based),
+// honoring a capped server Retry-After when it asks for longer.
+func (p RetryPolicy) backoff(n int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	// Full jitter band d×[1-J, 1+J]: decorrelates a retrying fleet.
+	d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+	if retryAfter > p.MaxRetryAfter {
+		retryAfter = p.MaxRetryAfter
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// ClientStats counts retry outcomes across a Client's lifetime (atomics;
+// safe under concurrent use). Exhausted429 is split out because a final
+// 429 is honest backpressure — the server said no — while an exhausted
+// transient failure is the client giving up on an unhealthy path.
+type ClientStats struct {
+	Attempts           atomic.Int64 // HTTP attempts issued
+	Retries            atomic.Int64 // attempts beyond the first
+	Recovered          atomic.Int64 // calls that succeeded after ≥1 retry
+	ExhaustedTransient atomic.Int64 // calls that died on conn error / 5xx
+	Exhausted429       atomic.Int64 // calls that died on 429
+}
+
+// ClientStatsView is the plain-value snapshot for reports.
+type ClientStatsView struct {
+	Attempts           int64   `json:"attempts"`
+	Retries            int64   `json:"retries"`
+	Recovered          int64   `json:"recovered"`
+	ExhaustedTransient int64   `json:"exhausted_transient"`
+	Exhausted429       int64   `json:"exhausted_429"`
+	RetrySuccessPct    float64 `json:"retry_success_pct"`
+}
+
+// View snapshots the counters. RetrySuccessPct is the fraction of calls
+// that needed a retry and eventually succeeded, over all calls that
+// needed a retry and could have (final-429 sheds excluded — those are
+// the server's decision, not a retry failure).
+func (s *ClientStats) View() ClientStatsView {
+	v := ClientStatsView{
+		Attempts:           s.Attempts.Load(),
+		Retries:            s.Retries.Load(),
+		Recovered:          s.Recovered.Load(),
+		ExhaustedTransient: s.ExhaustedTransient.Load(),
+		Exhausted429:       s.Exhausted429.Load(),
+	}
+	v.RetrySuccessPct = 100
+	if tried := v.Recovered + v.ExhaustedTransient; tried > 0 {
+		v.RetrySuccessPct = 100 * float64(v.Recovered) / float64(tried)
+	}
+	return v
+}

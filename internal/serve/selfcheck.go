@@ -182,10 +182,13 @@ func selfCheckSaturate(c *Client, logf func(string, ...any)) error {
 			Options: subgraph.OptionsSpec{Seed: seed},
 		}
 	}
+	// Raw statuses are the point here: a retrying client would wait out
+	// the saturation we are trying to observe.
+	raw := &Client{Base: c.Base, HTTPClient: c.HTTPClient, Retry: NoRetry()}
 	var ids []string
 	saw429 := false
 	for seed := int64(1); seed <= 3; seed++ {
-		jv, status, err := c.SubmitJob(slow(seed))
+		jv, status, err := raw.SubmitJob(slow(seed))
 		switch status {
 		case http.StatusAccepted, http.StatusOK:
 			ids = append(ids, jv.ID)

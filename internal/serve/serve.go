@@ -39,18 +39,24 @@ import (
 // Metric names exported through the server's obs.Registry (the /metrics
 // endpoint serves a snapshot).
 const (
-	MetricJobsSubmitted = "serve_jobs_submitted_total"
-	MetricJobsCompleted = "serve_jobs_completed_total"
-	MetricJobsFailed    = "serve_jobs_failed_total"
-	MetricJobsRejected  = "serve_jobs_rejected_total" // 429: queue full
-	MetricJobsDraining  = "serve_jobs_draining_total" // 503: draining
-	MetricCacheHits     = "serve_cache_hits_total"
-	MetricCacheMisses   = "serve_cache_misses_total"
-	MetricDetectRuns    = "serve_detect_runs_total" // engine executions (≠ hits)
-	MetricGraphUploads  = "serve_graphs_uploaded_total"
-	MetricGraphDedups   = "serve_graphs_deduped_total"
-	GaugeQueueDepth     = "serve_queue_depth"
-	HistJobWallNs       = "serve_job_wall_ns"
+	MetricJobsSubmitted  = "serve_jobs_submitted_total"
+	MetricJobsCompleted  = "serve_jobs_completed_total"
+	MetricJobsFailed     = "serve_jobs_failed_total"
+	MetricJobsRejected   = "serve_jobs_rejected_total"  // 429: queue full
+	MetricJobsShed       = "serve_jobs_shed_total"      // 429: SLO load shedding
+	MetricJobsCoalesced  = "serve_jobs_coalesced_total" // identical in-flight spec reused
+	MetricJobsDraining   = "serve_jobs_draining_total"  // 503: draining
+	MetricCacheHits      = "serve_cache_hits_total"
+	MetricCacheMisses    = "serve_cache_misses_total"
+	MetricDetectRuns     = "serve_detect_runs_total" // engine executions (≠ hits)
+	MetricGraphUploads   = "serve_graphs_uploaded_total"
+	MetricGraphDedups    = "serve_graphs_deduped_total"
+	GaugeQueueDepth      = "serve_queue_depth"
+	GaugeSLODegraded     = "serve_slo_degraded"          // 0 healthy / 1 degraded / 2 critical
+	GaugeSLOLatencyP99   = "serve_slo_p99_latency_ns"    // rolling-window p99 job wall
+	GaugeSLOQueueWaitP99 = "serve_slo_p99_queue_wait_ns" // rolling-window p99 queue wait
+	HistJobWallNs        = "serve_job_wall_ns"
+	HistQueueWaitNs      = "serve_queue_wait_ns"
 )
 
 // JobWallBuckets are the job-latency histogram bounds (powers of four,
@@ -94,6 +100,26 @@ type Config struct {
 	// Registry receives the server's metrics; a fresh one is created when
 	// nil (callers embedding the server in a larger process can share one).
 	Registry *obs.Registry
+	// SLO configures the p99-driven load shedder (see slo.go). The zero
+	// value disables shedding.
+	SLO SLOConfig
+	// OnJobDone, when non-nil, is called once per job that completes with
+	// a full (non-partial, non-cached) result — the canary-replay tap.
+	// Called from a worker goroutine after the job is observable as done;
+	// implementations must not block.
+	OnJobDone func(JobDone)
+}
+
+// JobDone describes a completed job to the Config.OnJobDone tap. Network
+// is the shared simulation network (safe for concurrent re-runs); Options
+// are the effective options the job ran with (deadline capped).
+type JobDone struct {
+	ID      string
+	Digest  string
+	Pattern string
+	Network *subgraph.Network
+	Options subgraph.OptionsSpec
+	Result  *JobResult
 }
 
 func (c Config) withDefaults() Config {
@@ -146,9 +172,12 @@ type Server struct {
 	cache *Cache
 	start time.Time
 
+	slo *sloGuard
+
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for retention eviction
+	order    []string          // submission order, for retention eviction
+	inflight map[string]string // cache key → id of a queued/running job
 	seq      int
 	draining bool
 	queue    chan *job
@@ -165,26 +194,29 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		store: NewStore(cfg.MaxGraphs),
-		cache: NewCache(cfg.CacheSize),
-		start: time.Now(),
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		store:    NewStore(cfg.MaxGraphs),
+		cache:    NewCache(cfg.CacheSize),
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]string),
+		queue:    make(chan *job, cfg.QueueDepth),
 	}
-	// Pre-create the counters and histogram so /metrics carries the full
+	// Pre-create the counters and histograms so /metrics carries the full
 	// schema before the first job.
 	for _, name := range []string{
 		MetricJobsSubmitted, MetricJobsCompleted, MetricJobsFailed,
-		MetricJobsRejected, MetricJobsDraining, MetricCacheHits,
-		MetricCacheMisses, MetricDetectRuns, MetricGraphUploads,
-		MetricGraphDedups,
+		MetricJobsRejected, MetricJobsShed, MetricJobsCoalesced,
+		MetricJobsDraining, MetricCacheHits, MetricCacheMisses,
+		MetricDetectRuns, MetricGraphUploads, MetricGraphDedups,
 	} {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge(GaugeQueueDepth)
 	s.reg.Histogram(HistJobWallNs, JobWallBuckets)
+	s.reg.Histogram(HistQueueWaitNs, JobWallBuckets)
+	s.slo = newSLOGuard(cfg.SLO, s.reg, 10)
 	return s
 }
 
@@ -198,6 +230,10 @@ func (s *Server) Start() {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
+				wait := time.Since(j.enqueuedAt)
+				s.reg.Histogram(HistQueueWaitNs, JobWallBuckets).
+					Observe(float64(wait.Nanoseconds()))
+				s.slo.observeQueueWait(wait)
 				if s.holdJobs != nil {
 					<-s.holdJobs
 				}
@@ -257,6 +293,7 @@ func (s *Server) enqueue(j *job) (queued, draining bool) {
 	if s.draining {
 		return false, true
 	}
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
@@ -267,10 +304,24 @@ func (s *Server) enqueue(j *job) (queued, draining bool) {
 }
 
 // register assigns an ID, records the job for polling, and evicts the
-// oldest terminal jobs beyond the retention bound.
-func (s *Server) register(j *job) {
+// oldest terminal jobs beyond the retention bound. When an identical
+// non-traced job (same cache key) is already queued or running, the new
+// job is not registered and the in-flight one is returned instead —
+// retried submissions of a content-addressed spec coalesce onto one
+// execution, which is what makes client retries idempotent-safe.
+func (s *Server) register(j *job) (coalesced *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	coalescible := !j.trace && !j.terminal() // cache-hit jobs register already terminal
+	if coalescible {
+		if id, ok := s.inflight[j.key]; ok {
+			if e := s.jobs[id]; e != nil && !e.terminal() {
+				s.reg.Counter(MetricJobsCoalesced).Inc()
+				return e
+			}
+			delete(s.inflight, j.key)
+		}
+	}
 	s.seq++
 	j.id = fmt.Sprintf("j-%06d", s.seq)
 	s.jobs[j.id] = j
@@ -295,19 +346,53 @@ func (s *Server) register(j *job) {
 			break // everything live: retention is a soft bound
 		}
 	}
+	if coalescible {
+		s.inflight[j.key] = j.id
+	}
+	return nil
 }
 
 // unregister drops a job that was never admitted (queue rejection).
-func (s *Server) unregister(id string) {
+func (s *Server) unregister(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.jobs, id)
+	delete(s.jobs, j.id)
+	if s.inflight[j.key] == j.id {
+		delete(s.inflight, j.key)
+	}
 	for i, x := range s.order {
-		if x == id {
+		if x == j.id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
+}
+
+// clearInflight removes a finished job from the coalescing index (its
+// result is in the cache from here on).
+func (s *Server) clearInflight(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j.id {
+		delete(s.inflight, j.key)
+	}
+}
+
+// retryAfterSeconds estimates when a shed or bounced client should come
+// back: current backlog × mean service time over the worker budget,
+// clamped to [1s, 30s] so the header is never a lie in either direction.
+func (s *Server) retryAfterSeconds() int {
+	backlog := len(s.queue) + 1
+	mean := s.slo.meanLatency()
+	est := time.Duration(backlog) * mean / time.Duration(s.cfg.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // jobByID returns the tracked job, or nil.

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/obs"
+)
+
+// newTestGuard builds a guard on a fake clock.
+func newTestGuard(cfg SLOConfig) (*sloGuard, *fakeGuardClock) {
+	g := newSLOGuard(cfg, obs.NewRegistry(), 10)
+	clk := &fakeGuardClock{t: time.Unix(1_000_000, 0)}
+	g.setClock(clk.now)
+	return g, clk
+}
+
+type fakeGuardClock struct{ t time.Time }
+
+func (f *fakeGuardClock) now() time.Time          { return f.t }
+func (f *fakeGuardClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestSLOGuardDegradeAndShed(t *testing.T) {
+	g, _ := newTestGuard(SLOConfig{LatencyBudget: 100 * time.Millisecond, Window: 10 * time.Second, MinSamples: 4})
+
+	// Below MinSamples nothing degrades, however slow.
+	for i := 0; i < 3; i++ {
+		g.observeLatency(time.Second)
+	}
+	if g.level.Load() != sloHealthy {
+		t.Fatalf("level = %d with %d samples, want healthy below MinSamples", g.level.Load(), 3)
+	}
+
+	// Ten 1s observations against a 100ms budget: p99 far past 2× budget.
+	for i := 0; i < 7; i++ {
+		g.observeLatency(time.Second)
+	}
+	if g.level.Load() != sloCritical {
+		t.Fatalf("level = %d, want critical (p99 ≈ 1s vs 100ms budget)", g.level.Load())
+	}
+	if !g.shouldShed(PriorityLow) || !g.shouldShed("") || !g.shouldShed(PriorityNormal) {
+		t.Fatal("critical level must shed low and normal priorities")
+	}
+	if g.shouldShed(PriorityHigh) {
+		t.Fatal("critical level must not shed high priority")
+	}
+}
+
+func TestSLOGuardHysteresisAndRecovery(t *testing.T) {
+	g, clk := newTestGuard(SLOConfig{
+		LatencyBudget:   time.Second,
+		Window:          10 * time.Second,
+		MinSamples:      4,
+		RecoverFraction: 0.6,
+	})
+
+	// p99 lands in the (1.024s, 1.448s] bucket: past budget, under 2× —
+	// degraded, shedding only low.
+	for i := 0; i < 10; i++ {
+		g.observeLatency(1300 * time.Millisecond)
+	}
+	if g.level.Load() != sloDegraded {
+		t.Fatalf("level = %d, want degraded", g.level.Load())
+	}
+	if !g.shouldShed(PriorityLow) {
+		t.Fatal("degraded level must shed low priority")
+	}
+	if g.shouldShed(PriorityNormal) || g.shouldShed("") {
+		t.Fatal("degraded level must not shed normal priority")
+	}
+
+	// Flood with 600ms observations: p99 drops to ≈ 724ms — under the 1s
+	// budget but above the 600ms recovery threshold, so hysteresis holds
+	// the degraded level instead of flapping back.
+	for i := 0; i < 1000; i++ {
+		g.observeLatency(600 * time.Millisecond)
+	}
+	if g.level.Load() != sloDegraded {
+		t.Fatalf("level = %d after dip into the hysteresis band, want still degraded", g.level.Load())
+	}
+
+	// Roll the whole slow era out of the window; fresh fast traffic
+	// recovers the guard.
+	clk.advance(11 * time.Second)
+	for i := 0; i < 4; i++ {
+		g.observeLatency(time.Millisecond)
+	}
+	if g.level.Load() != sloHealthy {
+		t.Fatalf("level = %d after recovery, want healthy", g.level.Load())
+	}
+	if g.shouldShed(PriorityLow) {
+		t.Fatal("healthy guard must not shed")
+	}
+}
+
+// TestSLOShedEndToEnd drives the HTTP surface: a degraded server bounces
+// low-priority submissions with 429 + Retry-After while admitting others.
+func TestSLOShedEndToEnd(t *testing.T) {
+	s, c := newTestServer(t, Config{SLO: SLOConfig{LatencyBudget: 50 * time.Millisecond, MinSamples: 4}})
+	text, _ := testEdgeList(t, 11)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force critical: feed the guard directly rather than staging a real
+	// overload.
+	for i := 0; i < 8; i++ {
+		s.slo.observeLatency(time.Second)
+	}
+	if lvl := s.slo.level.Load(); lvl != sloCritical {
+		t.Fatalf("guard level = %d, want critical", lvl)
+	}
+
+	spec := func(prio string, seed int64) JobSpec {
+		return JobSpec{Graph: up.Digest, Pattern: "triangle", Priority: prio,
+			Options: subgraph.OptionsSpec{Seed: seed}}
+	}
+	resp := rawSubmit(t, c.Base, spec(PriorityLow, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("low-priority submit under critical SLO: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed 429 without Retry-After")
+	}
+	resp = rawSubmit(t, c.Base, spec("", 2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("normal-priority submit under critical SLO: HTTP %d, want 429", resp.StatusCode)
+	}
+	resp = rawSubmit(t, c.Base, spec(PriorityHigh, 3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("high-priority submit under critical SLO: HTTP %d, want 202", resp.StatusCode)
+	}
+	if n := counter(t, c, MetricJobsShed); n != 2 {
+		t.Fatalf("shed counter = %d, want 2", n)
+	}
+
+	// Unknown priorities are a client error, not a silent default.
+	resp = rawSubmit(t, c.Base, spec("urgent", 4))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus priority: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCoalesceIdenticalInflight pins the idempotent-retry contract: a
+// resubmitted identical spec attaches to the already-running job instead
+// of executing twice.
+func TestCoalesceIdenticalInflight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.holdJobs = make(chan struct{})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	text, _ := testEdgeList(t, 12)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Graph: up.Digest, Pattern: "triangle", Options: subgraph.OptionsSpec{Seed: 9}}
+
+	jv1, status, err := c.SubmitJob(spec)
+	if err != nil || status != http.StatusAccepted {
+		t.Fatalf("first submit: (%d, %v)", status, err)
+	}
+	jv2, status, err := c.SubmitJob(spec)
+	if err != nil || status != http.StatusAccepted {
+		t.Fatalf("second submit: (%d, %v)", status, err)
+	}
+	if jv1.ID != jv2.ID {
+		t.Fatalf("identical in-flight specs got distinct jobs %s and %s", jv1.ID, jv2.ID)
+	}
+	if n := counter(t, c, MetricJobsCoalesced); n != 1 {
+		t.Fatalf("coalesced counter = %d, want 1", n)
+	}
+	// A different seed is a different execution — no coalescing.
+	other := spec
+	other.Options.Seed = 10
+	jv3, status, err := c.SubmitJob(other)
+	if err != nil || status != http.StatusAccepted {
+		t.Fatalf("distinct submit: (%d, %v)", status, err)
+	}
+	if jv3.ID == jv1.ID {
+		t.Fatal("distinct specs coalesced")
+	}
+
+	close(s.holdJobs)
+	jv, err := c.WaitJob(jv1.ID, 30*time.Second)
+	if err != nil || jv.State != StateDone {
+		t.Fatalf("coalesced job finished as %s (%v)", jv.State, err)
+	}
+	// Engine ran once for the coalesced pair, once for the distinct seed.
+	waitFor(t, func() bool { return counter(t, c, MetricDetectRuns) == 2 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report canary-smoke clean
+.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report canary-smoke trace-demo clean
 
 all: build test
 
@@ -60,6 +60,13 @@ loadgen-report:
 chaos-report:
 	$(GO) run ./cmd/subgraphd -loadgen -chaos -canary 1.0 -jobs 400 -seed 1 \
 		-workers 2 -slo-p99 150ms -low-frac 0.3 -out BENCH_PR6.json
+
+# Short chaos run that ends by dumping one completed job's span timeline
+# (fetched back through /debug/jobs/{id}) and the Prometheus text page
+# (see README "Observability").
+trace-demo:
+	$(GO) run ./cmd/subgraphd -loadgen -chaos -jobs 40 -seed 1 -workers 2 \
+		-trace-demo -out /dev/null
 
 # Quick local version of CI's canary-smoke gate.
 canary-smoke:

@@ -19,7 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -67,9 +67,12 @@ func run() int {
 
 		selfcheck = flag.String("selfcheck", "", "run the end-to-end self-check against this base URL and exit")
 		saturate  = flag.Bool("saturate", false, "selfcheck: also assert 429 admission control (server must run -workers 1 -queue 1)")
+
+		flightSize = flag.Int("flight", 256, "completed-job span timelines kept for GET /debug/jobs (negative disables the flight recorder)")
+		traceDemo  = flag.Bool("trace-demo", false, "loadgen: after the run, dump one recorded job timeline and the Prometheus metrics page")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "subgraphd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "subgraphd")
 
 	// The flag's 0 means "disable caching"; Config's zero value means
 	// "take the 512 default" (struct zero values cannot tell unset from
@@ -81,6 +84,17 @@ func run() int {
 		effCache = -1
 	}
 	reg := obs.NewRegistry()
+	// logf adapts the structured logger for the Logf-style progress hooks
+	// (loadgen, selfcheck) whose lines are already fully formatted.
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	flight := *flightSize
+	if *loadgen && flight > 0 && flight < *jobs*8 {
+		// The acceptance bar for a load run is every completed job being
+		// retrievable from /debug/jobs/{id}. Shed, rejected, and coalesced
+		// submissions record timelines too — under chaos each job may retry
+		// several times — so size the ring for total submissions, not jobs.
+		flight = *jobs * 8
+	}
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -93,6 +107,8 @@ func run() int {
 			QueueWaitBudget: *sloQWait,
 			Window:          *sloWindow,
 		},
+		FlightRecorderSize: flight,
+		Logger:             logger,
 	}
 
 	// The canary shares the server's registry and taps completed jobs via
@@ -100,7 +116,7 @@ func run() int {
 	var cn *canary.Canary
 	if *canaryFrac > 0 {
 		if *selfcheck != "" || (*loadgen && *target != "") {
-			logger.Printf("-canary needs the server in-process (drop -target / -selfcheck)")
+			logger.Error("-canary needs the server in-process (drop -target / -selfcheck)")
 			return 2
 		}
 		cn = canary.New(canary.Config{
@@ -108,7 +124,7 @@ func run() int {
 			Seed:        *seed,
 			ArtifactDir: *canaryDir,
 			Registry:    reg,
-			Logf:        logger.Printf,
+			Logger:      logger.With("component", "canary"),
 		})
 		cfg.OnJobDone = cn.OnJobDone
 	}
@@ -117,20 +133,20 @@ func run() int {
 	case *selfcheck != "":
 		err := serve.SelfCheck(*selfcheck, serve.SelfCheckOptions{
 			Saturate: *saturate,
-			Logf:     logger.Printf,
+			Logf:     logf,
 		})
 		if err != nil {
-			logger.Printf("selfcheck FAILED: %v", err)
+			logger.Error("selfcheck FAILED", "err", err)
 			return 1
 		}
-		logger.Printf("selfcheck passed")
+		logger.Info("selfcheck passed")
 		return 0
 
 	case *loadgen:
 		var chaosCfg *serve.ChaosConfig
 		if *chaos {
 			if *target != "" {
-				logger.Printf("-chaos wraps the in-process server; it cannot inject into a remote -target")
+				logger.Error("-chaos wraps the in-process server; it cannot inject into a remote -target")
 				return 2
 			}
 			chaosCfg = &serve.ChaosConfig{
@@ -149,8 +165,8 @@ func run() int {
 			GraphN:              *graphN,
 			RepeatFraction:      *repeatFrac,
 			LowPriorityFraction: *lowFrac,
-			Logf:                logger.Printf,
-		}, *out, chaosCfg, cn)
+			Logf:                logf,
+		}, *out, chaosCfg, cn, *traceDemo)
 
 	default:
 		return runServe(logger, cfg, *listen, *portFile, *drainTimeout, cn)
@@ -160,51 +176,54 @@ func run() int {
 // drainCanary flushes the canary's queue and reports its verdict: the
 // number of divergences (0 on a healthy engine) and how many jobs were
 // cross-checked to earn it.
-func drainCanary(logger *log.Logger, cn *canary.Canary, reg *obs.Registry) (divergences int64) {
+func drainCanary(logger *slog.Logger, cn *canary.Canary, reg *obs.Registry) (divergences int64) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	if err := cn.Drain(ctx); err != nil {
-		logger.Printf("canary drain: %v", err)
+		logger.Warn("canary drain", "err", err)
 	}
 	checked := reg.Counter(canary.MetricChecked).Value()
 	divergences = cn.Divergences()
 	if divergences > 0 {
-		logger.Printf("canary: %d DIVERGENCES over %d checked jobs (repro artifacts written)", divergences, checked)
+		logger.Error("canary divergences found (repro artifacts written)",
+			"divergences", divergences, "checked", checked)
 	} else {
-		logger.Printf("canary: %d jobs cross-checked, 0 divergences", checked)
+		logger.Info("canary clean", "checked", checked, "divergences", 0)
 	}
 	return divergences
 }
 
 // runServe serves the API until SIGTERM/SIGINT, then drains and exits.
-func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, drainTimeout time.Duration, cn *canary.Canary) int {
+func runServe(logger *slog.Logger, cfg serve.Config, listen, portFile string, drainTimeout time.Duration, cn *canary.Canary) int {
 	srv := serve.New(cfg)
 	srv.Start()
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		logger.Printf("listen %s: %v", listen, err)
+		logger.Error("listen", "addr", listen, "err", err)
 		return 1
 	}
 	if portFile != "" {
 		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			logger.Printf("writing portfile: %v", err)
+			logger.Error("writing portfile", "err", err)
 			return 1
 		}
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	logger.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheSize)
+	logger.Info("serving",
+		"url", "http://"+ln.Addr().String(), "workers", cfg.Workers,
+		"queue", cfg.QueueDepth, "cache", cfg.CacheSize)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	select {
 	case sig := <-sigc:
-		logger.Printf("%s: draining (in-flight and queued jobs keep running, new submissions get 503)", sig)
+		logger.Info("draining on signal (in-flight and queued jobs keep running, new submissions get 503)",
+			"signal", sig.String())
 	case err := <-errc:
-		logger.Printf("http server: %v", err)
+		logger.Error("http server", "err", err)
 		return 1
 	}
 
@@ -217,10 +236,10 @@ func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, dra
 	defer scancel()
 	_ = hs.Shutdown(sctx)
 	if derr != nil {
-		logger.Printf("drain: %v (%d jobs completed since startup)", derr, completed)
+		logger.Error("drain", "err", derr, "jobs_completed", completed)
 		return 1
 	}
-	logger.Printf("drained cleanly; %d jobs completed since startup", completed)
+	logger.Info("drained cleanly", "jobs_completed", completed)
 	if cn != nil && drainCanary(logger, cn, cfg.Registry) > 0 {
 		return 1
 	}
@@ -231,7 +250,7 @@ func runServe(logger *log.Logger, cfg serve.Config, listen, portFile string, dra
 // no -target is given (optionally behind chaos fault injection and with a
 // canary tapping completed jobs), and writes the benchreport JSON. A
 // failed drain or any canary divergence fails the run.
-func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string, chaosCfg *serve.ChaosConfig, cn *canary.Canary) int {
+func runLoadGen(logger *slog.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string, chaosCfg *serve.ChaosConfig, cn *canary.Canary, traceDemo bool) int {
 	var srv *serve.Server
 	var hs *http.Server
 	if lg.BaseURL == "" {
@@ -239,22 +258,34 @@ func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, ou
 		srv.Start()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			logger.Printf("listen: %v", err)
+			logger.Error("listen", "err", err)
 			return 1
 		}
 		var handler http.Handler = srv.Handler()
 		if chaosCfg != nil {
 			handler = serve.NewChaos(*chaosCfg, cfg.Registry).Middleware(handler)
-			logger.Printf("chaos injection armed (seed=%d, 429=%.0f%% 503=%.0f%% delay=%.0f%%)",
-				chaosCfg.Seed, 100*chaosCfg.Reject429, 100*chaosCfg.Fail503, 100*chaosCfg.LatencyRate)
+			logger.Info("chaos injection armed",
+				"seed", chaosCfg.Seed,
+				"reject_429_pct", 100*chaosCfg.Reject429,
+				"fail_503_pct", 100*chaosCfg.Fail503,
+				"delay_pct", 100*chaosCfg.LatencyRate)
 		}
 		hs = &http.Server{Handler: handler}
 		go func() { _ = hs.Serve(ln) }()
 		lg.BaseURL = "http://" + ln.Addr().String()
-		logger.Printf("loadgen against in-process server %s (workers=%d)", lg.BaseURL, cfg.Workers)
+		logger.Info("loadgen against in-process server", "url", lg.BaseURL, "workers", cfg.Workers)
 	}
 
 	res, err := serve.RunLoadGen(lg)
+
+	// The trace demo reads /debug/jobs and /metrics?format=prom while the
+	// server is still up — before the drain tears it down.
+	if err == nil && traceDemo {
+		if derr := runTraceDemo(lg.BaseURL); derr != nil {
+			logger.Error("trace demo", "err", derr)
+			return 1
+		}
+	}
 
 	// Drain before judging the run: a drain failure is a real failure
 	// (jobs were lost or hung), not shutdown noise to swallow.
@@ -264,12 +295,12 @@ func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, ou
 		_ = hs.Shutdown(ctx)
 		cancel()
 		if derr != nil {
-			logger.Printf("drain after loadgen: %v", derr)
+			logger.Error("drain after loadgen", "err", derr)
 			return 1
 		}
 	}
 	if err != nil {
-		logger.Printf("loadgen: %v", err)
+		logger.Error("loadgen", "err", err)
 		return 1
 	}
 	if cn != nil {
@@ -281,13 +312,14 @@ func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, ou
 	// requests must recover, and errors must stay within a 1% job budget.
 	if res.Errors > 0 {
 		if chaosCfg == nil || float64(res.Errors) > 0.01*float64(lg.Jobs) {
-			logger.Printf("loadgen: %d jobs errored", res.Errors)
+			logger.Error("loadgen jobs errored", "errors", res.Errors)
 			return 1
 		}
-		logger.Printf("loadgen: %d jobs errored under chaos (within the 1%% budget)", res.Errors)
+		logger.Info("loadgen jobs errored under chaos (within the 1% budget)", "errors", res.Errors)
 	}
 	if chaosCfg != nil && res.RetrySuccessPct < 99 {
-		logger.Printf("loadgen: retry success %.2f%% under chaos, want >= 99%%", res.RetrySuccessPct)
+		logger.Error("retry success under chaos below bar",
+			"retry_success_pct", res.RetrySuccessPct, "want_pct", 99)
 		return 1
 	}
 	if res.CanaryDivergences > 0 {
@@ -295,7 +327,7 @@ func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, ou
 	}
 	data, err := json.MarshalIndent(res.BenchReport(), "", "  ")
 	if err != nil {
-		logger.Printf("encoding report: %v", err)
+		logger.Error("encoding report", "err", err)
 		return 1
 	}
 	data = append(data, '\n')
@@ -304,9 +336,53 @@ func runLoadGen(logger *log.Logger, cfg serve.Config, lg serve.LoadGenConfig, ou
 		return 0
 	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
-		logger.Printf("writing %s: %v", out, err)
+		logger.Error("writing report", "path", out, "err", err)
 		return 1
 	}
-	logger.Printf("wrote %s", out)
+	logger.Info("wrote report", "path", out)
 	return 0
+}
+
+// runTraceDemo prints one complete recorded job timeline (preferring a
+// job that actually ran the engine) and the Prometheus exposition page —
+// the two new observability surfaces, demonstrated end to end against a
+// live server.
+func runTraceDemo(baseURL string) error {
+	c := &serve.Client{Base: baseURL}
+	dj, err := c.DebugJobs()
+	if err != nil {
+		return fmt.Errorf("fetching /debug/jobs: %w", err)
+	}
+	var pick *obs.TimelineView
+	for _, tl := range dj.Timelines {
+		if tl.Outcome == serve.StateDone && tl.SpanByName("engine_run") != nil {
+			pick = tl
+			break
+		}
+	}
+	if pick == nil && len(dj.Timelines) > 0 {
+		pick = dj.Timelines[0]
+	}
+	if pick == nil {
+		return fmt.Errorf("flight recorder is empty (server run with -flight < 0?)")
+	}
+	// Re-fetch by ID: the demo exercises /debug/jobs/{id}, the lookup an
+	// engineer would actually use.
+	full, err := c.DebugJob(pick.TraceID)
+	if err != nil {
+		return fmt.Errorf("fetching /debug/jobs/%s: %w", pick.TraceID, err)
+	}
+	tj, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== job timeline (job_id=%s trace_id=%s, %d spans, total %v) ===\n%s\n",
+		full.JobID, full.TraceID, len(full.Spans),
+		time.Duration(full.TotalNs), tj)
+	prom, err := c.MetricsProm()
+	if err != nil {
+		return fmt.Errorf("fetching /metrics?format=prom: %w", err)
+	}
+	fmt.Printf("=== /metrics?format=prom ===\n%s", prom)
+	return nil
 }

@@ -18,6 +18,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -61,8 +63,10 @@ type Config struct {
 	// when nil. Sharing the daemon's registry puts canary alarms on the
 	// same /metrics surface as everything else.
 	Registry *obs.Registry
-	// Logf receives progress lines (default: silent).
-	Logf func(format string, args ...any)
+	// Logger receives the canary's structured log stream (divergence
+	// alarms with job_id/trace_id/digest attrs, artifact outcomes). Nil
+	// discards.
+	Logger *slog.Logger
 
 	// TamperSecond, when non-nil, mutates the second engine's report
 	// before comparison — the test-only corrupted-engine hook used to
@@ -86,8 +90,8 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -261,7 +265,9 @@ func diffRecorded(res *serve.JobResult, rep *subgraph.Report) string {
 // raise counts the alarm and writes the shrunk repro artifact.
 func (c *Canary) raise(jd serve.JobDone, oracle, detail string) {
 	c.reg.Counter(MetricDivergence).Inc()
-	c.cfg.Logf("canary: DIVERGENCE on job %s (%s): %s", jd.ID, oracle, detail)
+	c.cfg.Logger.Error("canary divergence",
+		"job_id", jd.ID, "trace_id", jd.TraceID, "digest", jd.Digest,
+		"pattern", jd.Pattern, "oracle", oracle, "detail", detail)
 
 	cs := &diffcheck.Case{
 		Name:    "canary:" + jd.ID,
@@ -287,16 +293,17 @@ func (c *Canary) raise(jd serve.JobDone, oracle, detail string) {
 		art.OriginalN, art.OriginalEdges = cs.N, len(cs.Edges)
 	}
 	if err := os.MkdirAll(c.cfg.ArtifactDir, 0o755); err != nil {
-		c.cfg.Logf("canary: creating artifact dir: %v", err)
+		c.cfg.Logger.Warn("canary artifact dir", "job_id", jd.ID, "err", err)
 		return
 	}
 	path := filepath.Join(c.cfg.ArtifactDir, fmt.Sprintf("canary-%s-%s.json", oracle, jd.ID))
 	if err := diffcheck.WriteArtifact(path, art); err != nil {
-		c.cfg.Logf("canary: writing artifact: %v", err)
+		c.cfg.Logger.Warn("canary artifact write", "job_id", jd.ID, "err", err)
 		return
 	}
-	c.cfg.Logf("canary: wrote repro artifact %s (shrunk in %d evals: n=%d m=%d)",
-		path, evals, shrunk.N, len(shrunk.Edges))
+	c.cfg.Logger.Info("canary repro artifact written",
+		"job_id", jd.ID, "trace_id", jd.TraceID, "path", path,
+		"shrink_evals", evals, "n", shrunk.N, "m", len(shrunk.Edges))
 }
 
 // stillFails builds the shrink predicate for the named oracle: a

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -19,13 +20,22 @@ import (
 	"subgraph/internal/serve"
 )
 
+// testWriter routes slog output through t.Logf so canary log lines land
+// in the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 // startCanaried boots an in-process daemon with a canary on its
 // OnJobDone tap, sharing one registry.
 func startCanaried(t *testing.T, ccfg Config) (*serve.InProcess, *Canary, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	ccfg.Registry = reg
-	ccfg.Logf = t.Logf
+	ccfg.Logger = slog.New(slog.NewTextHandler(testWriter{t}, nil))
 	if ccfg.Seed == 0 {
 		ccfg.Seed = 1
 	}

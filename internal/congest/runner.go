@@ -459,6 +459,7 @@ func (s *idVertexSort) Swap(i, j int) {
 // the trace stream; outcome is "completed" or "aborted" with the abort
 // reason in errMsg.
 func finishRun(envs []*Env, stats Stats, transcript *Transcript, rt *runTrace, outcome, errMsg string) *Result {
+	rt.onRoundsDone()
 	res := &Result{
 		Decisions:  make([]Decision, len(envs)),
 		Stats:      stats,
@@ -467,6 +468,7 @@ func finishRun(envs []*Env, stats Stats, transcript *Transcript, rt *runTrace, o
 	for v, env := range envs {
 		res.Decisions[v] = env.decision
 	}
+	rt.onTeardownDone()
 	rt.onRunEnd(res, outcome, errMsg)
 	return res
 }

@@ -17,8 +17,10 @@ import (
 // parallel engine's per-worker busy-time stores, which write disjoint
 // workerBusy slots and are read only after wg.Wait().
 type runTrace struct {
-	t        obs.Tracer
-	runStart time.Time
+	t         obs.Tracer
+	runStart  time.Time
+	setupDone time.Time // end of the setup phase = start of the round loop
+	loopDone  time.Time // end of the round loop = start of teardown
 
 	roundStart   time.Time
 	deliverStart time.Time
@@ -73,7 +75,28 @@ func (rt *runTrace) onSetupDone() {
 	if rt == nil {
 		return
 	}
-	rt.t.Phase("setup", time.Since(rt.runStart))
+	rt.setupDone = time.Now()
+	rt.t.Phase("setup", rt.setupDone.Sub(rt.runStart))
+}
+
+// onRoundsDone reports the "rounds" phase: the whole round loop, from the
+// end of setup to the loop's exit (normal completion or abort). Called at
+// the top of finishRun so every exit path emits it exactly once.
+func (rt *runTrace) onRoundsDone() {
+	if rt == nil {
+		return
+	}
+	rt.loopDone = time.Now()
+	rt.t.Phase("rounds", rt.loopDone.Sub(rt.setupDone))
+}
+
+// onTeardownDone reports the "teardown" phase: decision assembly after the
+// round loop, immediately before RunEnd closes the trace.
+func (rt *runTrace) onTeardownDone() {
+	if rt == nil {
+		return
+	}
+	rt.t.Phase("teardown", time.Since(rt.loopDone))
 }
 
 // onRoundStart opens a round; msgs/dropped/corrupted are the cumulative

@@ -41,6 +41,8 @@ func TestDisabledTraceHooksAllocFree(t *testing.T) {
 		rt.onMessage(1, 0, 1, 1, 2, 8, payload, FaultNone, 0)
 		rt.onNodeScan(1, 0, env)
 		rt.onRoundEnd(1, 0, 0, 0, 0, 4)
+		rt.onRoundsDone()
+		rt.onTeardownDone()
 		rt.onRunEnd(res, "completed", "")
 	})
 	if allocs != 0 {

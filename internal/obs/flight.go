@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// FlightRecorder keeps the last N completed job timelines in a lock-free
+// ring. Writers (job completions) only ever claim a slot with one atomic
+// add and publish with one atomic pointer store, so recording stays off
+// the job critical path even under contention; readers (the /debug/jobs
+// handlers) see each slot's latest fully-built view or nothing.
+//
+// The ring can wrap mid-snapshot — a reader may observe slot i's old
+// view and slot i+1's new one. That is fine for a debug surface: every
+// returned view is internally consistent, and Find always prefers the
+// newest match.
+type FlightRecorder struct {
+	slots []atomic.Pointer[TimelineView]
+	next  atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder holding the last size timelines
+// (minimum 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[TimelineView], size)}
+}
+
+// Record publishes a completed timeline, evicting the oldest entry once
+// the ring is full. Nil recorders and nil views are ignored, so call
+// sites need no guards. The view must not be mutated after Record.
+func (f *FlightRecorder) Record(v *TimelineView) {
+	if f == nil || v == nil {
+		return
+	}
+	idx := f.next.Add(1) - 1
+	f.slots[idx%uint64(len(f.slots))].Store(v)
+}
+
+// Len returns the number of timelines currently held.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := f.next.Load()
+	if n > uint64(len(f.slots)) {
+		return len(f.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the held timelines, newest first.
+func (f *FlightRecorder) Snapshot() []*TimelineView {
+	if f == nil {
+		return nil
+	}
+	n := f.next.Load()
+	count := n
+	if count > uint64(len(f.slots)) {
+		count = uint64(len(f.slots))
+	}
+	out := make([]*TimelineView, 0, count)
+	for i := uint64(0); i < count; i++ {
+		// Walk backwards from the most recently claimed slot.
+		v := f.slots[(n-1-i)%uint64(len(f.slots))].Load()
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Find returns the newest timeline whose JobID or TraceID equals id, or
+// nil if none is held.
+func (f *FlightRecorder) Find(id string) *TimelineView {
+	for _, v := range f.Snapshot() {
+		if v.JobID == id || v.TraceID == id {
+			return v
+		}
+	}
+	return nil
+}

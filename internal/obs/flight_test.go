@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func view(jobID, traceID string) *TimelineView {
+	return &TimelineView{TraceID: traceID, JobID: jobID}
+}
+
+func TestFlightRecorderBasics(t *testing.T) {
+	f := NewFlightRecorder(3)
+	if f.Len() != 0 || len(f.Snapshot()) != 0 {
+		t.Fatal("new recorder should be empty")
+	}
+	f.Record(view("j1", "t1"))
+	f.Record(view("j2", "t2"))
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	got := f.Snapshot()
+	if len(got) != 2 || got[0].JobID != "j2" || got[1].JobID != "j1" {
+		t.Fatalf("snapshot not newest-first: %+v", got)
+	}
+
+	// Wrap: j1 is evicted.
+	f.Record(view("j3", "t3"))
+	f.Record(view("j4", "t4"))
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	got = f.Snapshot()
+	if len(got) != 3 || got[0].JobID != "j4" || got[2].JobID != "j2" {
+		t.Fatalf("snapshot after wrap: %+v", got)
+	}
+	if f.Find("j1") != nil {
+		t.Fatal("evicted timeline still findable")
+	}
+	if v := f.Find("j3"); v == nil || v.TraceID != "t3" {
+		t.Fatalf("Find(j3) = %+v", v)
+	}
+	if v := f.Find("t4"); v == nil || v.JobID != "j4" {
+		t.Fatalf("Find by trace ID = %+v", v)
+	}
+}
+
+func TestFlightRecorderFindNewestMatch(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(&TimelineView{JobID: "dup", Outcome: "old"})
+	f.Record(&TimelineView{JobID: "dup", Outcome: "new"})
+	if v := f.Find("dup"); v == nil || v.Outcome != "new" {
+		t.Fatalf("Find returned %+v, want newest", v)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(view("j", "t")) // must not panic
+	if f.Len() != 0 || f.Snapshot() != nil || f.Find("j") != nil {
+		t.Fatal("nil recorder should act empty")
+	}
+	g := NewFlightRecorder(0) // clamped to 1
+	g.Record(nil)             // ignored
+	if g.Len() != 0 {
+		t.Fatal("nil view should not be recorded")
+	}
+	g.Record(view("a", "b"))
+	g.Record(view("c", "d"))
+	if g.Len() != 1 || g.Snapshot()[0].JobID != "c" {
+		t.Fatalf("size-1 ring: %+v", g.Snapshot())
+	}
+}
+
+// Concurrent writers and readers; meaningful under -race (the CI gate).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(view("j-"+strconv.Itoa(w)+"-"+strconv.Itoa(i), "t"))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, v := range f.Snapshot() {
+					if v.TraceID != "t" {
+						t.Error("torn view observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", f.Len())
+	}
+}

@@ -143,6 +143,11 @@ type Tracer interface {
 // Multi fans events out to several tracers in order. Nil entries are
 // skipped; Multi(nil...) and Multi() return nil, so callers can pass the
 // result straight to a config.
+//
+// Each sink is panic-isolated: a tracer that panics is recovered and the
+// remaining sinks still see the event, so a broken debug sink cannot
+// kill a run (the engine treats tracer hooks as infallible). Failing
+// sinks are expected to latch errors themselves, as JSONLTracer does.
 func Multi(tracers ...Tracer) Tracer {
 	kept := make([]Tracer, 0, len(tracers))
 	for _, t := range tracers {
@@ -161,43 +166,82 @@ func Multi(tracers ...Tracer) Tracer {
 
 type multiTracer []Tracer
 
+// recoverSink swallows a sink panic. The per-event helpers below exist
+// (instead of deferred closures at each call site) so the fan-out path
+// stays allocation-free: plain functions with value arguments open-code
+// their defers, a closure capturing the event would not.
+func recoverSink() { _ = recover() }
+
+func safeRunStart(t Tracer, info RunInfo) {
+	defer recoverSink()
+	t.RunStart(info)
+}
+func safeRoundStart(t Tracer, round int) {
+	defer recoverSink()
+	t.RoundStart(round)
+}
+func safeMessage(t Tracer, ev MessageEvent) {
+	defer recoverSink()
+	t.Message(ev)
+}
+func safeFault(t Tracer, ev FaultEvent) {
+	defer recoverSink()
+	t.Fault(ev)
+}
+func safeNode(t Tracer, ev NodeEvent) {
+	defer recoverSink()
+	t.Node(ev)
+}
+func safeRoundEnd(t Tracer, rs RoundStats) {
+	defer recoverSink()
+	t.RoundEnd(rs)
+}
+func safePhase(t Tracer, name string, elapsed time.Duration) {
+	defer recoverSink()
+	t.Phase(name, elapsed)
+}
+func safeRunEnd(t Tracer, sum RunSummary) {
+	defer recoverSink()
+	t.RunEnd(sum)
+}
+
 func (m multiTracer) RunStart(info RunInfo) {
 	for _, t := range m {
-		t.RunStart(info)
+		safeRunStart(t, info)
 	}
 }
 func (m multiTracer) RoundStart(round int) {
 	for _, t := range m {
-		t.RoundStart(round)
+		safeRoundStart(t, round)
 	}
 }
 func (m multiTracer) Message(ev MessageEvent) {
 	for _, t := range m {
-		t.Message(ev)
+		safeMessage(t, ev)
 	}
 }
 func (m multiTracer) Fault(ev FaultEvent) {
 	for _, t := range m {
-		t.Fault(ev)
+		safeFault(t, ev)
 	}
 }
 func (m multiTracer) Node(ev NodeEvent) {
 	for _, t := range m {
-		t.Node(ev)
+		safeNode(t, ev)
 	}
 }
 func (m multiTracer) RoundEnd(rs RoundStats) {
 	for _, t := range m {
-		t.RoundEnd(rs)
+		safeRoundEnd(t, rs)
 	}
 }
 func (m multiTracer) Phase(name string, elapsed time.Duration) {
 	for _, t := range m {
-		t.Phase(name, elapsed)
+		safePhase(t, name, elapsed)
 	}
 }
 func (m multiTracer) RunEnd(sum RunSummary) {
 	for _, t := range m {
-		t.RunEnd(sum)
+		safeRunEnd(t, sum)
 	}
 }

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for RegistrySnapshot,
+// plus a strict parser used as the CI exposition lint. The writer is
+// deterministic — metrics sorted by name, floats via strconv 'g'/-1 — so
+// the output is golden-testable byte for byte and scrape diffs are
+// meaningful.
+//
+// Mapping: counters → `counter`, gauges → `gauge`, histograms →
+// `histogram` with cumulative `_bucket{le="..."}` series, an explicit
+// `le="+Inf"` bucket (bucket counts + overflow), `_sum`, and `_count`.
+// Registry names are already snake_case and collide with neither suffix,
+// so no escaping is needed; WritePrometheus rejects nothing and writes
+// only what the parser accepts (pinned by TestPrometheusRoundTrip).
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(bw, "%s %s\n", name, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+
+	return bw.Flush()
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, NaN/Inf spelled out.
+func promFloat(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "NaN"
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string            // metric name (without labels)
+	Labels map[string]string // nil when the line has no label set
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: a TYPE declaration and the
+// samples that follow it.
+type PromFamily struct {
+	Name    string
+	Type    string // "counter" | "gauge" | "histogram"
+	Samples []PromSample
+}
+
+// ParsePrometheus parses text exposition output strictly, returning the
+// families in declaration order. It enforces the invariants the CI
+// exposition lint relies on:
+//
+//   - every sample is preceded by a TYPE line for its family,
+//   - metric and label names match the Prometheus grammar,
+//   - histogram `le` bounds are ascending with a final +Inf bucket,
+//   - histogram bucket counts are cumulative (non-decreasing),
+//   - the +Inf bucket equals `_count`, and `_sum`/`_count` are present.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var families []PromFamily
+	index := map[string]int{} // family name → families index
+	cur := -1                 // family of the last TYPE line
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := index[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			index[name] = len(families)
+			cur = len(families)
+			families = append(families, PromFamily{Name: name, Type: typ})
+			continue
+		}
+
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		// Samples must be grouped under their family's TYPE line: the
+		// sample name (suffix-stripped for histogram series) has to match
+		// the most recent declaration.
+		if cur < 0 || (sample.Name != families[cur].Name && familyName(sample.Name) != families[cur].Name) {
+			return nil, fmt.Errorf("line %d: sample %q not under its TYPE line", lineNo, sample.Name)
+		}
+		families[cur].Samples = append(families[cur].Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := checkHistogramFamily(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyName strips histogram sample suffixes to recover the family name.
+func familyName(sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suf) {
+			return strings.TrimSuffix(sample, suf)
+		}
+	}
+	return sample
+}
+
+func checkHistogramFamily(fam PromFamily) error {
+	var (
+		prevLe    = math.Inf(-1)
+		prevCum   = int64(-1)
+		infBucket = int64(-1)
+		count     = int64(-1)
+		sawSum    bool
+	)
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", fam.Name)
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam.Name, le)
+			}
+			if bound <= prevLe {
+				return fmt.Errorf("histogram %s: le %q not ascending", fam.Name, le)
+			}
+			prevLe = bound
+			cum := int64(s.Value)
+			if cum < prevCum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%q", fam.Name, le)
+			}
+			prevCum = cum
+			if math.IsInf(bound, 1) {
+				infBucket = cum
+			}
+		case fam.Name + "_sum":
+			sawSum = true
+		case fam.Name + "_count":
+			count = int64(s.Value)
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %q", fam.Name, s.Name)
+		}
+	}
+	if infBucket < 0 {
+		return fmt.Errorf("histogram %s: missing +Inf bucket", fam.Name)
+	}
+	if !sawSum {
+		return fmt.Errorf("histogram %s: missing _sum", fam.Name)
+	}
+	if count < 0 {
+		return fmt.Errorf("histogram %s: missing _count", fam.Name)
+	}
+	if infBucket != count {
+		return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", fam.Name, infBucket, count)
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+
+	// Metric name.
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return labels, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label %q", pair)
+		}
+		name := strings.TrimSpace(pair[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		val := strings.TrimSpace(pair[eq+1:])
+		unq, err := strconv.Unquote(val)
+		if err != nil {
+			return nil, fmt.Errorf("label %s value %q not quoted", name, val)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = unq
+	}
+	return labels, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

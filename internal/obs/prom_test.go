@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateProm = flag.Bool("update-prom", false, "rewrite the Prometheus exposition golden file")
+
+// fixedRegistry builds a registry with deterministic contents covering
+// every metric kind the exposition writer handles, including the shapes
+// serve uses (ns-scale histogram buckets, float gauges).
+func fixedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("serve_jobs_submitted_total").Add(42)
+	reg.Counter("serve_cache_hits_total").Add(17)
+	reg.Counter("engine_messages_total").Add(123456789)
+	reg.Gauge("serve_queue_depth").Set(3)
+	reg.Gauge("serve_slo_p99_seconds").Set(0.0625)
+	reg.Gauge("serve_utilization").Set(0.3333333333333333)
+
+	h := reg.Histogram("serve_job_wall_ns", []float64{1e6, 1e7, 1e8})
+	for _, x := range []float64{5e5, 5e5, 3e6, 5e7, 2e9} {
+		h.Observe(x)
+	}
+	q := reg.Histogram("serve_queue_wait_ns", []float64{250000, 353553.39059327373})
+	q.Observe(100)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "registry.prom")
+	if *updateProm {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-prom to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition output differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Byte-stability: a second snapshot of the same registry renders
+	// identically (map iteration order must not leak through).
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("exposition output not byte-stable across snapshots")
+	}
+}
+
+// TestPrometheusRoundTrip pins that everything the writer emits, the
+// strict parser accepts — the contract the CI exposition lint checks
+// against a live /metrics?format=prom page.
+func TestPrometheusRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	snap := fixedRegistry().Snapshot()
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parser rejected writer output: %v", err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if len(fams) != len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) {
+		t.Fatalf("got %d families", len(fams))
+	}
+
+	c := byName["serve_jobs_submitted_total"]
+	if c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 42 {
+		t.Fatalf("counter family: %+v", c)
+	}
+	g := byName["serve_utilization"]
+	if g.Type != "gauge" || g.Samples[0].Value != 0.3333333333333333 {
+		t.Fatalf("gauge family: %+v", g)
+	}
+
+	h := byName["serve_job_wall_ns"]
+	if h.Type != "histogram" {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	// 3 bounds + +Inf + sum + count.
+	if len(h.Samples) != 6 {
+		t.Fatalf("histogram samples: %+v", h.Samples)
+	}
+	var inf PromSample
+	for _, s := range h.Samples {
+		if s.Labels["le"] == "+Inf" {
+			inf = s
+		}
+	}
+	if inf.Value != 5 {
+		t.Fatalf("+Inf bucket = %v, want 5 (overflow observation included)", inf.Value)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":    "foo 1\n",
+		"unknown type":           "# TYPE foo widget\nfoo 1\n",
+		"duplicate TYPE":         "# TYPE foo counter\nfoo 1\n# TYPE foo counter\nfoo 2\n",
+		"bad metric name":        "# TYPE 1foo counter\n1foo 1\n",
+		"bad value":              "# TYPE foo counter\nfoo abc\n",
+		"unterminated labels":    "# TYPE foo counter\nfoo{le=\"1\" 1\n",
+		"unquoted label value":   "# TYPE foo counter\nfoo{le=1} 1\n",
+		"interleaved families":   "# TYPE foo counter\n# TYPE bar counter\nfoo 1\n",
+		"descending le":          "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 3\nh_count 3\n",
+		"missing +Inf":           "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing _sum":           "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"missing _count":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"Inf != count":           "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"bucket without le":      "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, in)
+		}
+	}
+}
+
+func TestParsePrometheusAcceptsForeignExtras(t *testing.T) {
+	// HELP comments, trailing timestamps, and empty lines are legal
+	// exposition features other emitters produce.
+	in := "# HELP foo a counter\n# TYPE foo counter\nfoo 1 1712345678\n\n" +
+		"# TYPE g gauge\ng{shard=\"a\",node=\"b\"} -2.5\n"
+	fams, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 || fams[1].Samples[0].Labels["shard"] != "a" {
+		t.Fatalf("parsed: %+v", fams)
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:               "0",
+		3:               "3",
+		0.0625:          "0.0625",
+		250000:          "250000",
+		math.Inf(1):     "+Inf",
+		math.Inf(-1):    "-Inf",
+		1e21:            "1e+21",
+		1.0 / 3.0:       "0.3333333333333333",
+		353553.39059327: "353553.39059327",
+	}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for deterministic span timing.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTimelineSpans(t *testing.T) {
+	clk := newTestClock()
+	tl := NewTimeline("trace-1")
+	tl.SetClock(clk.Now)
+
+	root := tl.StartSpan("job")
+	clk.Advance(10 * time.Millisecond)
+
+	child := root.StartChild("queue_wait")
+	child.Annotate("depth", "3")
+	clk.Advance(5 * time.Millisecond)
+	child.Finish()
+	child.Finish() // idempotent: keeps the first end
+
+	clk.Advance(2 * time.Millisecond)
+	root.FinishedChild("setup", 2*time.Millisecond)
+	clk.Advance(3 * time.Millisecond)
+	root.Finish()
+
+	v := tl.View()
+	if v.TraceID != "trace-1" {
+		t.Fatalf("TraceID = %q", v.TraceID)
+	}
+	if len(v.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(v.Spans))
+	}
+	if v.TotalNs != (20 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("TotalNs = %d, want 20ms", v.TotalNs)
+	}
+
+	q := v.SpanByName("queue_wait")
+	if q == nil {
+		t.Fatal("queue_wait span missing")
+	}
+	if q.ParentID != v.Spans[0].SpanID {
+		t.Fatalf("queue_wait parent = %d, want root %d", q.ParentID, v.Spans[0].SpanID)
+	}
+	if got := q.DurationNs(); got != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("queue_wait duration = %d, want 5ms", got)
+	}
+	if val, ok := q.Annotation("depth"); !ok || val != "3" {
+		t.Fatalf("annotation depth = %q, %v", val, ok)
+	}
+
+	s := v.SpanByName("setup")
+	if s == nil {
+		t.Fatal("setup span missing")
+	}
+	if got := s.DurationNs(); got != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("setup duration = %d, want 2ms", got)
+	}
+	// FinishedChild at +17ms with 2ms elapsed → [15ms, 17ms).
+	if s.StartNs != (15 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("setup start = %d, want 15ms", s.StartNs)
+	}
+
+	// The view is stable JSON.
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("marshal view: %v", err)
+	}
+}
+
+func TestTimelineViewClosesOpenSpans(t *testing.T) {
+	clk := newTestClock()
+	tl := NewTimeline("")
+	tl.SetClock(clk.Now)
+	if tl.TraceID() == "" {
+		t.Fatal("empty trace ID should be auto-generated")
+	}
+
+	root := tl.StartSpan("job")
+	clk.Advance(time.Millisecond)
+	_ = root.StartChild("open")
+	clk.Advance(time.Millisecond)
+
+	v := tl.View()
+	open := v.SpanByName("open")
+	if open == nil || open.EndNs != (2*time.Millisecond).Nanoseconds() {
+		t.Fatalf("open span not closed at now: %+v", open)
+	}
+	// Root is open too: TotalNs covers the whole window so far.
+	if v.TotalNs != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("TotalNs = %d, want 2ms", v.TotalNs)
+	}
+}
+
+func TestTimelineSpanCap(t *testing.T) {
+	tl := NewTimeline("cap")
+	root := tl.StartSpan("job")
+	for i := 0; i < maxTimelineSpans+10; i++ {
+		root.FinishedChild("extra", 0)
+	}
+	v := tl.View()
+	if len(v.Spans) != maxTimelineSpans {
+		t.Fatalf("got %d spans, want cap %d", len(v.Spans), maxTimelineSpans)
+	}
+	if v.Dropped != 11 {
+		t.Fatalf("Dropped = %d, want 11", v.Dropped)
+	}
+	// Spans past the cap return nil, which must stay usable.
+	s := root.StartChild("over")
+	if s != nil {
+		t.Fatal("expected nil span past cap")
+	}
+	s.Annotate("k", "v")
+	s.Finish()
+}
+
+func TestSpanAnnotationCap(t *testing.T) {
+	tl := NewTimeline("anncap")
+	s := tl.StartSpan("job")
+	for i := 0; i < maxSpanAnnotations+40; i++ {
+		s.Annotate("k", "v")
+	}
+	v := tl.View()
+	anns := v.Spans[0].Annotations
+	if len(anns) != maxSpanAnnotations+1 {
+		t.Fatalf("got %d annotations, want %d", len(anns), maxSpanAnnotations+1)
+	}
+	if anns[len(anns)-1].Key != annotationsDropped {
+		t.Fatalf("last annotation = %q, want drop marker", anns[len(anns)-1].Key)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	good := []string{"a", "0123456789abcdef", "A-Z_09", "x"}
+	for _, s := range good {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	bad := []string{"", "has space", "semi;colon", "new\nline", "é", string(long)}
+	for _, s := range bad {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, invalid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestNilSpanZeroAlloc pins the acceptance criterion that disabled span
+// instrumentation costs nothing on the engine hot path: every method on
+// a nil *Span / nil *Timeline must be a zero-allocation no-op.
+func TestNilSpanZeroAlloc(t *testing.T) {
+	var s *Span
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(200, func() {
+		c := s.StartChild("x")
+		c.Annotate("k", "v")
+		c.FinishedChild("y", time.Millisecond)
+		c.Finish()
+		_ = c.DurationNs()
+		_ = c.Context()
+		_ = tl.StartSpan("z")
+		_ = tl.TraceID()
+		_ = tl.View()
+		tl.SetClock(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span path allocated %v per run, want 0", allocs)
+	}
+}
+
+// Nil-parent SpanTracer must also stay alloc-free across a full event
+// bracket — it is what the engine sees when a job has no timeline.
+func TestNilParentSpanTracerZeroAlloc(t *testing.T) {
+	st := NewSpanTracer(nil)
+	info := RunInfo{Engine: "sequential", Nodes: 8, Edges: 12}
+	rs := RoundStats{Round: 1, Bits: 64, Messages: 2}
+	sum := RunSummary{Outcome: "completed", Rounds: 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		st.RunStart(info)
+		st.RoundStart(1)
+		st.RoundEnd(rs)
+		st.Phase("rounds", time.Millisecond)
+		st.RunEnd(sum)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-parent SpanTracer allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestTimelineConcurrentUse(t *testing.T) {
+	tl := NewTimeline("conc")
+	root := tl.StartSpan("job")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.StartChild("w")
+				c.Annotate("j", "x")
+				c.Finish()
+				_ = tl.View()
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	v := tl.View()
+	// Every attempt either landed as a span or was counted as dropped.
+	if len(v.Spans)+int(v.Dropped) != 8*50+1 {
+		t.Fatalf("spans=%d dropped=%d, want total %d", len(v.Spans), v.Dropped, 8*50+1)
+	}
+}

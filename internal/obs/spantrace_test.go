@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// driveRun plays one synthetic engine run through a SpanTracer the way
+// the congest runner does: setup phase, rounds with stats, rounds +
+// teardown phases, RunEnd.
+func driveRun(st *SpanTracer, clk *testClock, rounds int) {
+	st.RunStart(RunInfo{Engine: "sequential", Nodes: 16, Edges: 40, Bandwidth: 64})
+	clk.Advance(time.Millisecond)
+	st.Phase("setup", time.Millisecond)
+	for r := 1; r <= rounds; r++ {
+		st.RoundStart(r)
+		clk.Advance(100 * time.Microsecond)
+		st.RoundEnd(RoundStats{Round: r, Bits: 64, Messages: 2, Dropped: 1})
+	}
+	st.Phase("rounds", time.Duration(rounds)*100*time.Microsecond)
+	clk.Advance(time.Millisecond)
+	st.Phase("teardown", time.Millisecond)
+	st.RunEnd(RunSummary{Outcome: "completed", Rounds: rounds, TotalBits: int64(rounds) * 64})
+}
+
+func TestSpanTracerBuildsEngineSpans(t *testing.T) {
+	clk := newTestClock()
+	tl := NewTimeline("st")
+	tl.SetClock(clk.Now)
+	job := tl.StartSpan("job")
+
+	st := NewSpanTracer(job)
+	driveRun(st, clk, 70) // crosses two full 32-round windows + a partial one
+	job.Finish()
+
+	v := tl.View()
+	run := v.SpanByName("engine_run")
+	if run == nil {
+		t.Fatal("engine_run span missing")
+	}
+	if run.ParentID != v.Spans[0].SpanID {
+		t.Fatalf("engine_run parent = %d, want job", run.ParentID)
+	}
+	for _, key := range []string{"engine", "nodes", "edges", "bandwidth_bits", "outcome", "rounds_total", "total_bits"} {
+		if _, ok := run.Annotation(key); !ok {
+			t.Errorf("engine_run missing annotation %q", key)
+		}
+	}
+	if got, _ := run.Annotation("rounds_total"); got != "70" {
+		t.Fatalf("rounds_total = %q", got)
+	}
+
+	for _, name := range []string{"setup", "rounds", "teardown"} {
+		s := v.SpanByName(name)
+		if s == nil {
+			t.Fatalf("%s span missing", name)
+		}
+		if s.ParentID != run.SpanID {
+			t.Fatalf("%s parent = %d, want engine_run %d", name, s.ParentID, run.SpanID)
+		}
+	}
+
+	// The live rounds span covers the whole round loop.
+	rounds := v.SpanByName("rounds")
+	if got := rounds.DurationNs(); got != (7 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("rounds duration = %d, want 7ms", got)
+	}
+	// 70 rounds at window 32 → windows [1,32], [33,64], [65,70].
+	wantWindows := []string{"rounds_1_32", "rounds_33_64", "rounds_65_70"}
+	if len(rounds.Annotations) != len(wantWindows) {
+		t.Fatalf("got %d window annotations, want %d: %+v", len(rounds.Annotations), len(wantWindows), rounds.Annotations)
+	}
+	for i, w := range wantWindows {
+		a := rounds.Annotations[i]
+		if a.Key != w {
+			t.Fatalf("window %d key = %q, want %q", i, a.Key, w)
+		}
+		if !strings.Contains(a.Value, "bits=") || !strings.Contains(a.Value, "dropped=") {
+			t.Fatalf("window %q value = %q", w, a.Value)
+		}
+	}
+	if got := rounds.Annotations[0].Value; got != "bits=2048 msgs=64 dropped=32" {
+		t.Fatalf("first window value = %q", got)
+	}
+	if got := rounds.Annotations[2].Value; got != "bits=384 msgs=12 dropped=6" {
+		t.Fatalf("partial window value = %q", got)
+	}
+}
+
+// Detectors can execute several simulator runs per job; each gets its
+// own engine_run bracket.
+func TestSpanTracerMultipleRuns(t *testing.T) {
+	clk := newTestClock()
+	tl := NewTimeline("st2")
+	tl.SetClock(clk.Now)
+	job := tl.StartSpan("job")
+	st := NewSpanTracer(job)
+	driveRun(st, clk, 3)
+	driveRun(st, clk, 5)
+	job.Finish()
+
+	v := tl.View()
+	var runs int
+	for _, s := range v.Spans {
+		if s.Name == "engine_run" {
+			runs++
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("got %d engine_run spans, want 2", runs)
+	}
+}
+
+// Aborted runs skip Phase("rounds"); RunEnd must still close the live
+// rounds span and record the error.
+func TestSpanTracerAbortedRun(t *testing.T) {
+	clk := newTestClock()
+	tl := NewTimeline("st3")
+	tl.SetClock(clk.Now)
+	job := tl.StartSpan("job")
+	st := NewSpanTracer(job)
+
+	st.RunStart(RunInfo{Engine: "parallel", Nodes: 4, Edges: 3})
+	st.Phase("setup", 0)
+	st.RoundStart(1)
+	clk.Advance(time.Millisecond)
+	st.RoundEnd(RoundStats{Round: 1, Bits: 8, Messages: 1})
+	st.RunEnd(RunSummary{Outcome: "aborted", Error: "deadline exceeded", Rounds: 1})
+	job.Finish()
+
+	v := tl.View()
+	rounds := v.SpanByName("rounds")
+	if rounds == nil {
+		t.Fatal("rounds span missing")
+	}
+	if rounds.EndNs <= rounds.StartNs {
+		t.Fatalf("rounds span not closed: %+v", rounds)
+	}
+	if len(rounds.Annotations) != 1 || rounds.Annotations[0].Key != "rounds_1_1" {
+		t.Fatalf("partial window not flushed: %+v", rounds.Annotations)
+	}
+	run := v.SpanByName("engine_run")
+	if got, _ := run.Annotation("error"); got != "deadline exceeded" {
+		t.Fatalf("error annotation = %q", got)
+	}
+}

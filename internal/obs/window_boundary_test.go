@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Window-boundary clock-edge coverage for the SLO windows: observations
+// landing exactly on slot edges, reads straddling an expiry edge, and
+// ring wrap-around reusing a slot index for a new epoch.
+
+// windowAt builds a 4-slot window of 1s span (250ms slots) whose clock
+// is pinned to an absolute epoch-aligned instant we can step precisely.
+func windowAt(t0 *time.Time) *Window {
+	w := NewWindow(time.Second, 4, []float64{10, 100, 1000})
+	w.SetClock(func() time.Time { return *t0 })
+	return w
+}
+
+func TestWindowSlotEdgeObservations(t *testing.T) {
+	// Start exactly on a slot boundary.
+	t0 := time.Unix(1000, 0)
+	w := windowAt(&t0)
+
+	w.Observe(5) // slot epoch e
+	t0 = t0.Add(250 * time.Millisecond)
+	w.Observe(50) // lands exactly on the next slot's first nanosecond
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+
+	// One nanosecond before the next edge stays in the same slot; the
+	// edge itself starts a new one. Either way both remain in-window.
+	t0 = t0.Add(250*time.Millisecond - time.Nanosecond)
+	w.Observe(500)
+	t0 = t0.Add(time.Nanosecond)
+	w.Observe(5000)
+	if got := w.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if m, ok := w.Mean(); !ok || m != (5+50+500+5000)/4.0 {
+		t.Fatalf("mean = %v, %v", m, ok)
+	}
+}
+
+func TestWindowExpiryAtExactEdge(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	w := windowAt(&t0)
+	w.Observe(5) // epoch e0
+
+	// The window keeps the last 4 slot epochs [e-3, e]. e0 is included
+	// through e0+3 and expires exactly at e0+4 slots.
+	t0 = time.Unix(2000, 0).Add(4*250*time.Millisecond - time.Nanosecond)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count one ns before expiry edge = %d, want 1", got)
+	}
+	t0 = time.Unix(2000, 0).Add(4 * 250 * time.Millisecond)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count at expiry edge = %d, want 0", got)
+	}
+	if _, ok := w.Mean(); ok {
+		t.Fatal("mean of an all-expired window should report empty")
+	}
+	if _, ok := w.Quantile(0.99); ok {
+		t.Fatal("quantile of an all-expired window should report empty")
+	}
+}
+
+func TestWindowRingWrapReusesSlot(t *testing.T) {
+	t0 := time.Unix(3000, 0)
+	w := windowAt(&t0)
+	w.Observe(5)
+	w.Observe(5)
+
+	// 4 slots later the ring index wraps back onto the same slot; the
+	// old epoch's counts must be discarded, not merged.
+	t0 = t0.Add(time.Second)
+	w.Observe(500)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count after wrap = %d, want 1 (stale slot leaked)", got)
+	}
+	if q, ok := w.Quantile(0.5); !ok || q > 1000 || q <= 100 {
+		t.Fatalf("median after wrap = %v, %v; want in (100, 1000]", q, ok)
+	}
+}
+
+func TestWindowQuantileAcrossPartialExpiry(t *testing.T) {
+	t0 := time.Unix(4000, 0)
+	w := windowAt(&t0)
+	// Slot A: 10 fast observations; slot B (250ms later): 10 slow ones.
+	for i := 0; i < 10; i++ {
+		w.Observe(5)
+	}
+	t0 = t0.Add(250 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		w.Observe(5000) // beyond the last bound → +Inf bucket
+	}
+
+	// While both slots are live the p50 sits in the fast bucket and the
+	// p99 resolves to +Inf (conservative overflow answer).
+	if q, _ := w.Quantile(0.5); q > 10 {
+		t.Fatalf("p50 with both slots = %v, want <= 10", q)
+	}
+	if q, _ := w.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 with overflow = %v, want +Inf", q)
+	}
+
+	// Step to the first instant where slot A has expired but B has not:
+	// A's epoch + 4 slots. Only slow observations remain.
+	t0 = time.Unix(4000, 0).Add(4 * 250 * time.Millisecond)
+	if got := w.Count(); got != 10 {
+		t.Fatalf("count after partial expiry = %d, want 10", got)
+	}
+	if q, _ := w.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Fatalf("p50 after fast slot expired = %v, want +Inf", q)
+	}
+}
+
+func TestWindowQuantileBucketInterpolation(t *testing.T) {
+	t0 := time.Unix(5000, 0)
+	w := windowAt(&t0)
+	// 4 observations in the (10, 100] bucket: ranks interpolate linearly
+	// across the bucket at 1/4 steps.
+	for i := 0; i < 4; i++ {
+		w.Observe(50)
+	}
+	if q, _ := w.Quantile(0.25); q != 10+(100-10)*0.25 {
+		t.Fatalf("p25 = %v, want 32.5", q)
+	}
+	if q, _ := w.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %v, want 100", q)
+	}
+}

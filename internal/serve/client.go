@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"subgraph/internal/obs"
 )
 
 // Client is a typed client for the subgraphd HTTP API, shared by the
@@ -27,6 +29,11 @@ type Client struct {
 	HTTPClient *http.Client
 	// Retry tunes retries; nil means DefaultRetryPolicy.
 	Retry *RetryPolicy
+	// Flight, when non-nil, receives a client-side timeline per job
+	// submission: one span per HTTP attempt, annotated with its status —
+	// the client's half of the trace whose server half /debug/jobs serves
+	// under the same trace ID.
+	Flight *obs.FlightRecorder
 
 	// Stats counts attempts and retry outcomes.
 	Stats ClientStats
@@ -72,6 +79,13 @@ func (c *Client) do(method, path, contentType string, body []byte, out any) (int
 // submissions are idempotent server-side (content-addressed coalescing +
 // result cache), so retrying is safe for every endpoint.
 func (c *Client) doPolicy(p RetryPolicy, method, path, contentType string, body []byte, out any) (int, error) {
+	return c.doPolicyTraced(p, method, path, contentType, body, out, "", nil)
+}
+
+// doPolicyTraced is doPolicy carrying a trace identity: traceID rides on
+// every attempt as X-Trace-Id, and each attempt becomes a child span of
+// root (nil root disables span recording at zero cost).
+func (c *Client) doPolicyTraced(p RetryPolicy, method, path, contentType string, body []byte, out any, traceID string, root *obs.Span) (int, error) {
 	var (
 		status     int
 		err        error
@@ -81,7 +95,13 @@ func (c *Client) doPolicy(p RetryPolicy, method, path, contentType string, body 
 	)
 	for attempt := 1; ; attempt++ {
 		c.Stats.Attempts.Add(1)
-		status, retryAfter, err = c.attempt(p, method, path, contentType, body, out)
+		span := root.StartChild("attempt_" + strconv.Itoa(attempt))
+		status, retryAfter, err = c.attempt(p, method, path, contentType, body, out, traceID)
+		span.Annotate("status", strconv.Itoa(status))
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.Finish()
 		if status == http.StatusTooManyRequests {
 			saw429, err429 = true, err
 		}
@@ -117,7 +137,7 @@ func (c *Client) doPolicy(p RetryPolicy, method, path, contentType string, body 
 
 // attempt issues one HTTP attempt. status 0 means the request never got
 // an HTTP response (connection error / timeout).
-func (c *Client) attempt(p RetryPolicy, method, path, contentType string, body []byte, out any) (status int, retryAfter time.Duration, err error) {
+func (c *Client) attempt(p RetryPolicy, method, path, contentType string, body []byte, out any, traceID string) (status int, retryAfter time.Duration, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), p.PerAttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
@@ -126,6 +146,9 @@ func (c *Client) attempt(p RetryPolicy, method, path, contentType string, body [
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if traceID != "" {
+		req.Header.Set(TraceIDHeader, traceID)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -187,14 +210,81 @@ func (c *Client) UploadGraph(edgeList string) (UploadView, error) {
 // SubmitJob submits a job spec; the HTTP status is returned alongside the
 // view so callers can distinguish 200 (cache hit), 202 (queued), 429
 // (saturated), and 503 (draining).
+//
+// Every submission gets a fresh trace ID, sent as X-Trace-Id on each
+// attempt, so server-side work any attempt triggered is attributable to
+// this call chain; the final ID is surfaced through Stats.LastTraceID and
+// — when Flight is set — a per-attempt client timeline is recorded
+// under it.
 func (c *Client) SubmitJob(spec JobSpec) (JobView, int, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobView{}, 0, err
 	}
+	traceID := obs.NewTraceID()
+	c.Stats.setLastTraceID(traceID)
+	var (
+		tl   *obs.Timeline
+		root *obs.Span
+	)
+	if c.Flight != nil {
+		tl = obs.NewTimeline(traceID)
+		root = tl.StartSpan("client_submit")
+	}
 	var v JobView
-	status, err := c.do("POST", "/v1/jobs", "application/json", body, &v)
+	status, err := c.doPolicyTraced(c.policy(), "POST", "/v1/jobs", "application/json", body, &v, traceID, root)
+	if tl != nil {
+		root.Annotate("final_status", strconv.Itoa(status))
+		root.Finish()
+		view := tl.View()
+		view.JobID = v.ID
+		view.Outcome = "submitted"
+		if v.ID == "" {
+			view.Outcome = "bounced"
+		}
+		c.Flight.Record(view)
+	}
 	return v, status, err
+}
+
+// DebugJobs fetches the server's flight recorder (GET /debug/jobs).
+func (c *Client) DebugJobs() (DebugJobsView, error) {
+	var v DebugJobsView
+	status, err := c.do("GET", "/debug/jobs", "", nil, &v)
+	if err == nil && status != http.StatusOK {
+		err = fmt.Errorf("debug jobs: HTTP %d", status)
+	}
+	return v, err
+}
+
+// DebugJob fetches one recorded timeline by job or trace ID.
+func (c *Client) DebugJob(id string) (*obs.TimelineView, error) {
+	var v obs.TimelineView
+	status, err := c.do("GET", "/debug/jobs/"+id, "", nil, &v)
+	if err == nil && status != http.StatusOK {
+		err = fmt.Errorf("debug job %s: HTTP %d", id, status)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// MetricsProm fetches the Prometheus text exposition page.
+func (c *Client) MetricsProm() ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/metrics?format=prom")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics?format=prom: HTTP %d", resp.StatusCode)
+	}
+	return data, nil
 }
 
 // Job polls one job.

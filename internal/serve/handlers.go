@@ -59,8 +59,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
+	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
 	return mux
 }
+
+// TraceIDHeader carries a job's trace ID end to end: clients may set it
+// on POST /v1/jobs (invalid values are replaced, never stored), and the
+// server echoes the effective ID on every submit response.
+const TraceIDHeader = "X-Trace-Id"
 
 // writeJSON emits compact JSON: an indenting encoder would reformat the
 // json.RawMessage Stats inside job results and break the documented
@@ -84,7 +92,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthView{Status: "ok"})
 }
 
+// refreshServerGauges pushes the envelope state (workers, queue, stores,
+// uptime) into the registry so a Prometheus scrape carries what the JSON
+// view reports in its envelope fields.
+func (s *Server) refreshServerGauges() {
+	s.reg.Gauge(GaugeWorkers).Set(float64(s.cfg.Workers))
+	s.reg.Gauge(GaugeQueueCap).Set(float64(s.cfg.QueueDepth))
+	s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
+	s.reg.Gauge(GaugeGraphsStored).Set(float64(s.store.Len()))
+	s.reg.Gauge(GaugeCacheEntries).Set(float64(s.cache.Len()))
+	var draining float64
+	if s.Draining() {
+		draining = 1
+	}
+	s.reg.Gauge(GaugeDraining).Set(draining)
+	s.reg.Gauge(GaugeUptime).Set(time.Since(s.start).Seconds())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.refreshServerGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+		return
+	}
+	s.refreshServerGauges()
 	writeJSON(w, http.StatusOK, MetricsView{
 		UptimeMs:     time.Since(s.start).Milliseconds(),
 		Workers:      s.cfg.Workers,
@@ -163,11 +195,25 @@ func (s *Server) handleGraphDownload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	// Trace identity first: propagate the client's X-Trace-Id (replacing
+	// anything that fails validation) and echo the effective ID on every
+	// response, accepted or bounced, so a client can always correlate.
+	traceID := r.Header.Get(TraceIDHeader)
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
+	tl := obs.NewTimeline(traceID)
+	w.Header().Set(TraceIDHeader, tl.TraceID())
+	root := tl.StartSpan("job")
+
 	if s.Draining() {
 		s.reg.Counter(MetricJobsDraining).Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is draining; submit elsewhere")
 		return
 	}
+	// Admission covers decode + validation + store lookups — everything
+	// between arrival and the cache decision.
+	admission := root.StartChild("admission")
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	dec.DisallowUnknownFields()
@@ -181,11 +227,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, aerr.status, "%s", aerr.msg)
 		return
 	}
+	j.tl, j.rootSpan = tl, root
+	admission.Finish()
 
 	// Cache lookup — traced jobs bypass it (their trace documents a real
 	// execution).
 	if !j.trace {
+		lookup := root.StartChild("cache_lookup")
 		if res, ok := s.cache.Get(j.key); ok {
+			lookup.Annotate("result", "hit")
+			lookup.Finish()
 			s.reg.Counter(MetricCacheHits).Inc()
 			j.mu.Lock()
 			j.state = StateDone
@@ -194,9 +245,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			j.mu.Unlock()
 			close(j.finished)
 			s.register(j)
+			root.Finish()
+			j.mu.Lock()
+			j.latencyNs = root.DurationNs()
+			j.mu.Unlock()
+			s.reg.Histogram(HistCacheHitNs, JobWallBuckets).
+				Observe(float64(j.latencyNs))
+			s.publishTimeline(j, StateDone)
 			writeJSON(w, http.StatusOK, j.view())
 			return
 		}
+		lookup.Annotate("result", "miss")
+		lookup.Finish()
 		s.reg.Counter(MetricCacheMisses).Inc()
 	}
 
@@ -204,6 +264,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// bounced before they can occupy queue or workers.
 	if s.slo.shouldShed(spec.Priority) {
 		s.reg.Counter(MetricJobsShed).Inc()
+		root.Annotate("outcome", "shed")
+		root.Finish()
+		s.publishTimeline(j, "shed")
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests,
 			"shedding %s-priority load: p99 over budget; retry later", displayPriority(spec.Priority))
@@ -216,10 +279,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if existing := s.register(j); existing != nil {
 		// An identical spec is already queued or running — answer with
 		// that job instead of executing twice (idempotent retry path).
+		root.Annotate("coalesced_onto", existing.id)
+		root.Finish()
+		s.publishTimeline(j, "coalesced")
 		w.Header().Set("Location", "/v1/jobs/"+existing.id)
 		writeJSON(w, http.StatusAccepted, existing.view())
 		return
 	}
+	// The queue-wait span opens here and is finished by the worker that
+	// dequeues the job (serve.go); the job is not yet visible to workers,
+	// so the field write is unsynchronized-safe.
+	j.queueSpan = root.StartChild("queue_wait")
 	queued, draining := s.enqueue(j)
 	switch {
 	case draining:
@@ -230,6 +300,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case !queued:
 		s.unregister(j)
 		s.reg.Counter(MetricJobsRejected).Inc()
+		root.Annotate("outcome", "rejected")
+		root.Finish()
+		s.publishTimeline(j, "rejected")
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests,
 			"queue saturated (%d jobs); retry later", s.cfg.QueueDepth)
@@ -269,4 +342,52 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Trace-Truncated", "true")
 	}
 	_, _ = w.Write(trace)
+}
+
+// DebugJobsView is the wire response of GET /debug/jobs: the flight
+// recorder's held timelines, newest first.
+type DebugJobsView struct {
+	Count     int                 `json:"count"`
+	Timelines []*obs.TimelineView `json:"timelines"`
+}
+
+// DebugSLOView is the wire response of GET /debug/slo.
+type DebugSLOView struct {
+	Level       string          `json:"level"`
+	Transitions []SLOTransition `json:"transitions"`
+}
+
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	views := s.flight.Snapshot() // nil-safe: empty when recording disabled
+	if views == nil {
+		views = []*obs.TimelineView{}
+	}
+	writeJSON(w, http.StatusOK, DebugJobsView{Count: len(views), Timelines: views})
+}
+
+func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.flight == nil {
+		writeErr(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	v := s.flight.Find(id)
+	if v == nil {
+		writeErr(w, http.StatusNotFound,
+			"no recorded timeline for %q (job or trace ID; the recorder holds the last %d)",
+			id, s.cfg.FlightRecorderSize)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	trs := s.slo.Transitions()
+	if trs == nil {
+		trs = []SLOTransition{}
+	}
+	writeJSON(w, http.StatusOK, DebugSLOView{
+		Level:       levelName(s.slo.level.Load()),
+		Transitions: trs,
+	})
 }

@@ -86,6 +86,14 @@ type JobView struct {
 	DurationMs int64 `json:"duration_ms,omitempty"`
 	// Priority echoes the submitted priority (empty = normal).
 	Priority string `json:"priority,omitempty"`
+	// TraceID is the job's trace identity: propagated from the client's
+	// X-Trace-Id header or generated at admission. The job's full span
+	// timeline is retrievable at /debug/jobs/{id} under it.
+	TraceID string `json:"trace_id,omitempty"`
+	// LatencyNs is the end-to-end admission→response latency (terminal
+	// jobs): the duration of the root span of the job's timeline, so it
+	// equals the total_ns the debug timeline reports.
+	LatencyNs int64 `json:"latency_ns,omitempty"`
 }
 
 // job is the server-side job record.
@@ -101,6 +109,14 @@ type job struct {
 	trace    bool
 	priority string
 
+	// Span plumbing. tl/rootSpan are set at admission (handleJobSubmit)
+	// before the job is visible to any worker; queueSpan is set under
+	// Server.mu before enqueue and finished by the worker that dequeues.
+	// All span methods are nil-safe, so nothing here is ever guarded.
+	tl        *obs.Timeline
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+
 	enqueuedAt time.Time // set under Server.mu when admitted to the queue
 
 	mu         sync.Mutex
@@ -111,6 +127,7 @@ type job struct {
 	traceBytes []byte
 	traceTrunc bool
 	durationMs int64
+	latencyNs  int64
 
 	finished chan struct{} // closed on terminal state
 }
@@ -137,6 +154,8 @@ func (j *job) view() JobView {
 		TraceTruncated: j.traceTrunc,
 		DurationMs:     j.durationMs,
 		Priority:       j.priority,
+		TraceID:        j.tl.TraceID(),
+		LatencyNs:      j.latencyNs,
 	}
 }
 
@@ -219,7 +238,9 @@ func (s *Server) runJob(j *job) {
 
 	started := time.Now()
 	collector := obs.NewCollector()
-	tracers := []obs.Tracer{collector}
+	// The span tracer hangs engine_run/setup/rounds/teardown spans (with
+	// round-window bandwidth annotations) under the job's root span.
+	tracers := []obs.Tracer{collector, obs.NewSpanTracer(j.rootSpan)}
 	var traceBuf *cappedWriter
 	var jsonl *obs.JSONLTracer
 	if j.trace {
@@ -234,10 +255,16 @@ func (s *Server) runJob(j *job) {
 
 	s.reg.Counter(MetricDetectRuns).Inc()
 	rep, err := subgraph.Detect(j.g, j.h, opts)
+	engineWall := time.Since(started)
+	s.reg.Histogram(HistEngineRunNs, JobWallBuckets).
+		Observe(float64(engineWall.Nanoseconds()))
 	if jsonl != nil {
 		_ = jsonl.Close()
 	}
 
+	// The response span covers turning the engine's answer into the
+	// published job record: stats encoding, cache insertion, state flip.
+	respSpan := j.rootSpan.StartChild("response")
 	j.mu.Lock()
 	j.durationMs = time.Since(started).Milliseconds()
 	if traceBuf != nil {
@@ -282,20 +309,56 @@ func (s *Server) runJob(j *job) {
 			s.cache.Put(j.key, res)
 		}
 	}
-	result, state := j.result, j.state
+	result, state, errMsg := j.result, j.state, j.errMsg
+	respSpan.Finish()
+	// Root closes before the job is observable as finished, so a poller
+	// racing close(finished) already sees the final latency.
+	j.rootSpan.Finish()
+	j.latencyNs = j.rootSpan.DurationNs()
+	latency := j.latencyNs
 	j.mu.Unlock()
 	close(j.finished)
 	s.clearInflight(j)
 	if s.cfg.OnJobDone != nil && state == StateDone && !result.Partial {
+		// The tap span lands after the root span's end — deliberately: the
+		// canary must never show up in the client-visible latency, but its
+		// cost should still be attributable in the timeline.
+		tap := j.rootSpan.StartChild("canary_tap")
 		s.cfg.OnJobDone(JobDone{
 			ID:      j.id,
+			TraceID: j.tl.TraceID(),
 			Digest:  j.digest,
 			Pattern: j.pattern,
 			Network: j.g,
 			Options: j.optSpec,
 			Result:  result,
 		})
+		tap.Finish()
 	}
+	s.publishTimeline(j, state)
+	if state == StateDone {
+		s.logger.Info("job done",
+			"job_id", j.id, "trace_id", j.tl.TraceID(), "digest", j.digest,
+			"pattern", j.pattern, "partial", result.Partial,
+			"engine_ms", engineWall.Milliseconds(), "latency_ms", latency/1e6)
+	} else {
+		s.logger.Warn("job failed",
+			"job_id", j.id, "trace_id", j.tl.TraceID(), "digest", j.digest,
+			"pattern", j.pattern, "err", errMsg)
+	}
+}
+
+// publishTimeline snapshots the job's span timeline into the flight
+// recorder under its ID and terminal outcome. Nil-safe on both the
+// recorder (disabled) and the timeline (jobs admitted without tracing).
+func (s *Server) publishTimeline(j *job, outcome string) {
+	if s.flight == nil || j.tl == nil {
+		return
+	}
+	v := j.tl.View()
+	v.JobID = j.id
+	v.Outcome = outcome
+	s.flight.Record(v)
 }
 
 // cappedWriter buffers writes up to max bytes and silently discards the

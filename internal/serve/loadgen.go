@@ -100,6 +100,21 @@ type LoadGenResult struct {
 	// (the run's own metrics snapshot would race the canary worker).
 	CanaryChecked     int64 `json:"canary_checked"`
 	CanaryDivergences int64 `json:"canary_divergences"`
+
+	// Latency breakdown (PR 7), derived from the span timelines the
+	// server's flight recorder held after the run: where completed jobs
+	// actually spent their time, versus the end-to-end percentiles above.
+	// BreakdownTimelines is how many completed-job timelines the numbers
+	// are computed over (bounded by the server's flight-recorder size).
+	BreakdownTimelines int   `json:"breakdown_timelines"`
+	QueueWaitP50Ns     int64 `json:"queue_wait_p50_ns"`
+	QueueWaitP99Ns     int64 `json:"queue_wait_p99_ns"`
+	EngineP50Ns        int64 `json:"engine_p50_ns"`
+	EngineP99Ns        int64 `json:"engine_p99_ns"`
+	// CacheHitP*Ns are end-to-end latencies of jobs answered from the
+	// result cache (the no-engine fast path).
+	CacheHitP50Ns int64 `json:"cache_hit_p50_ns"`
+	CacheHitP99Ns int64 `json:"cache_hit_p99_ns"`
 }
 
 // benchReport mirrors cmd/benchreport's JSON document so loadgen baselines
@@ -150,8 +165,65 @@ func (r *LoadGenResult) BenchReport() any {
 			{Name: "ChaosInjected503Total", NsPerOp: float64(r.Chaos503)},
 			{Name: "CanaryCheckedTotal", NsPerOp: float64(r.CanaryChecked)},
 			{Name: "CanaryDivergenceTotal", NsPerOp: float64(r.CanaryDivergences)},
+			{Name: "ServeQueueWaitP50", NsPerOp: float64(r.QueueWaitP50Ns)},
+			{Name: "ServeQueueWaitP99", NsPerOp: float64(r.QueueWaitP99Ns)},
+			{Name: "ServeEngineRunP50", NsPerOp: float64(r.EngineP50Ns)},
+			{Name: "ServeEngineRunP99", NsPerOp: float64(r.EngineP99Ns)},
+			{Name: "ServeCacheHitPathP50", NsPerOp: float64(r.CacheHitP50Ns)},
+			{Name: "ServeCacheHitPathP99", NsPerOp: float64(r.CacheHitP99Ns)},
 		},
 	}
+}
+
+// fillBreakdown computes the queue-wait / engine / cache-hit-path latency
+// percentiles from the server's recorded span timelines. Best-effort: a
+// server without a flight recorder yields zero rows, not an error.
+func fillBreakdown(res *LoadGenResult, c *Client, logf func(string, ...any)) {
+	dj, err := c.DebugJobs()
+	if err != nil {
+		logf("breakdown skipped: %v", err)
+		return
+	}
+	var qwait, engine, cachehit []int64
+	for _, tl := range dj.Timelines {
+		if tl.Outcome != StateDone {
+			continue
+		}
+		res.BreakdownTimelines++
+		if lookup := tl.SpanByName("cache_lookup"); lookup != nil {
+			if v, ok := lookup.Annotation("result"); ok && v == "hit" {
+				cachehit = append(cachehit, tl.TotalNs)
+				continue
+			}
+		}
+		if sp := tl.SpanByName("queue_wait"); sp != nil {
+			qwait = append(qwait, sp.DurationNs())
+		}
+		// A job may bracket several engine runs (reps); attribute each.
+		for i := range tl.Spans {
+			if tl.Spans[i].Name == "engine_run" {
+				engine = append(engine, tl.Spans[i].DurationNs())
+			}
+		}
+	}
+	pcts := func(xs []int64) (p50, p99 int64) {
+		if len(xs) == 0 {
+			return 0, 0
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return percentile(xs, 50), percentile(xs, 99)
+	}
+	res.QueueWaitP50Ns, res.QueueWaitP99Ns = pcts(qwait)
+	res.EngineP50Ns, res.EngineP99Ns = pcts(engine)
+	res.CacheHitP50Ns, res.CacheHitP99Ns = pcts(cachehit)
+	logf("breakdown over %d recorded timelines: queue-wait p50 %v / p99 %v, engine p50 %v / p99 %v, cache-hit path p50 %v / p99 %v",
+		res.BreakdownTimelines,
+		time.Duration(res.QueueWaitP50Ns).Round(time.Microsecond),
+		time.Duration(res.QueueWaitP99Ns).Round(time.Microsecond),
+		time.Duration(res.EngineP50Ns).Round(time.Microsecond),
+		time.Duration(res.EngineP99Ns).Round(time.Microsecond),
+		time.Duration(res.CacheHitP50Ns).Round(time.Microsecond),
+		time.Duration(res.CacheHitP99Ns).Round(time.Microsecond))
 }
 
 // RunLoadGen replays a seeded job mix against a running server and
@@ -320,6 +392,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	res.Chaos429 = delta(MetricChaos429)
 	res.Chaos503 = delta(MetricChaos503)
 	res.ChaosDelays = delta(MetricChaosDelay)
+	fillBreakdown(res, c, logf)
 	logf("replayed %d jobs in %v: %.1f jobs/s, p50 %v, p99 %v, cache hit rate %.1f%%, %d shed, %d retries (%.1f%% recovered), %d errors",
 		res.Jobs, wall.Round(time.Millisecond), res.JobsPerSec,
 		time.Duration(res.P50Ns).Round(time.Microsecond),

@@ -3,6 +3,7 @@ package serve
 import (
 	"math/rand"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -123,6 +124,24 @@ type ClientStats struct {
 	Recovered          atomic.Int64 // calls that succeeded after ≥1 retry
 	ExhaustedTransient atomic.Int64 // calls that died on conn error / 5xx
 	Exhausted429       atomic.Int64 // calls that died on 429
+
+	mu          sync.Mutex
+	lastTraceID string
+}
+
+// setLastTraceID records the trace ID of the most recent job submission.
+func (s *ClientStats) setLastTraceID(id string) {
+	s.mu.Lock()
+	s.lastTraceID = id
+	s.mu.Unlock()
+}
+
+// LastTraceID returns the trace ID the most recent SubmitJob call sent —
+// the handle for looking its retry chain up in a flight recorder.
+func (s *ClientStats) LastTraceID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTraceID
 }
 
 // ClientStatsView is the plain-value snapshot for reports.
@@ -133,6 +152,7 @@ type ClientStatsView struct {
 	ExhaustedTransient int64   `json:"exhausted_transient"`
 	Exhausted429       int64   `json:"exhausted_429"`
 	RetrySuccessPct    float64 `json:"retry_success_pct"`
+	LastTraceID        string  `json:"last_trace_id,omitempty"`
 }
 
 // View snapshots the counters. RetrySuccessPct is the fraction of calls
@@ -146,6 +166,7 @@ func (s *ClientStats) View() ClientStatsView {
 		Recovered:          s.Recovered.Load(),
 		ExhaustedTransient: s.ExhaustedTransient.Load(),
 		Exhausted429:       s.Exhausted429.Load(),
+		LastTraceID:        s.LastTraceID(),
 	}
 	v.RetrySuccessPct = 100
 	if tried := v.Recovered + v.ExhaustedTransient; tried > 0 {

@@ -28,6 +28,8 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -57,6 +59,18 @@ const (
 	GaugeSLOQueueWaitP99 = "serve_slo_p99_queue_wait_ns" // rolling-window p99 queue wait
 	HistJobWallNs        = "serve_job_wall_ns"
 	HistQueueWaitNs      = "serve_queue_wait_ns"
+	HistEngineRunNs      = "serve_engine_run_ns" // engine execution wall (cache misses)
+	HistCacheHitNs       = "serve_cache_hit_ns"  // end-to-end latency of cache-hit answers
+
+	// Scrape-time server gauges, refreshed on every /metrics render so the
+	// Prometheus page carries the operational state the JSON view reports
+	// in its envelope.
+	GaugeWorkers      = "serve_workers"
+	GaugeQueueCap     = "serve_queue_cap"
+	GaugeGraphsStored = "serve_graphs_stored"
+	GaugeCacheEntries = "serve_cache_entries"
+	GaugeDraining     = "serve_draining"
+	GaugeUptime       = "serve_uptime_seconds"
 )
 
 // JobWallBuckets are the job-latency histogram bounds (powers of four,
@@ -108,13 +122,24 @@ type Config struct {
 	// Called from a worker goroutine after the job is observable as done;
 	// implementations must not block.
 	OnJobDone func(JobDone)
+	// FlightRecorderSize bounds the debug flight recorder: the last N
+	// completed job timelines retrievable from GET /debug/jobs (default
+	// 256; negative disables recording — /debug/jobs then serves empty).
+	FlightRecorderSize int
+	// Logger receives the server's structured log stream (job outcomes,
+	// drain lifecycle, SLO transitions) with job_id/trace_id/digest attrs.
+	// Nil discards — tests and embedders stay quiet by default.
+	Logger *slog.Logger
 }
 
 // JobDone describes a completed job to the Config.OnJobDone tap. Network
 // is the shared simulation network (safe for concurrent re-runs); Options
-// are the effective options the job ran with (deadline capped).
+// are the effective options the job ran with (deadline capped). TraceID
+// carries the job's trace identity so downstream consumers (the canary)
+// log and alarm attributably.
 type JobDone struct {
 	ID      string
+	TraceID string
 	Digest  string
 	Pattern string
 	Network *subgraph.Network
@@ -160,17 +185,25 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.FlightRecorderSize == 0 {
+		c.FlightRecorderSize = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
 // Server is the job daemon. Create with New, attach Handler() to an HTTP
 // listener, and call Start to launch the worker budget.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	store *Store
-	cache *Cache
-	start time.Time
+	cfg    Config
+	reg    *obs.Registry
+	store  *Store
+	cache  *Cache
+	start  time.Time
+	flight *obs.FlightRecorder // nil when disabled
+	logger *slog.Logger
 
 	slo *sloGuard
 
@@ -199,9 +232,13 @@ func New(cfg Config) *Server {
 		store:    NewStore(cfg.MaxGraphs),
 		cache:    NewCache(cfg.CacheSize),
 		start:    time.Now(),
+		logger:   cfg.Logger,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]string),
 		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.FlightRecorderSize > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize)
 	}
 	// Pre-create the counters and histograms so /metrics carries the full
 	// schema before the first job.
@@ -214,9 +251,18 @@ func New(cfg Config) *Server {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge(GaugeQueueDepth)
+	for _, name := range []string{
+		GaugeWorkers, GaugeQueueCap, GaugeGraphsStored,
+		GaugeCacheEntries, GaugeDraining, GaugeUptime,
+	} {
+		s.reg.Gauge(name)
+	}
 	s.reg.Histogram(HistJobWallNs, JobWallBuckets)
 	s.reg.Histogram(HistQueueWaitNs, JobWallBuckets)
+	s.reg.Histogram(HistEngineRunNs, JobWallBuckets)
+	s.reg.Histogram(HistCacheHitNs, JobWallBuckets)
 	s.slo = newSLOGuard(cfg.SLO, s.reg, 10)
+	s.slo.logger = s.logger
 	return s
 }
 
@@ -231,6 +277,7 @@ func (s *Server) Start() {
 			defer s.wg.Done()
 			for j := range s.queue {
 				wait := time.Since(j.enqueuedAt)
+				j.queueSpan.Finish()
 				s.reg.Histogram(HistQueueWaitNs, JobWallBuckets).
 					Observe(float64(wait.Nanoseconds()))
 				s.slo.observeQueueWait(wait)
@@ -256,6 +303,7 @@ func (s *Server) BeginDrain() {
 	s.draining = true
 	// Safe: every sender holds s.mu around its non-blocking send.
 	close(s.queue)
+	s.logger.Info("drain begun", "queued", len(s.queue))
 }
 
 // Draining reports whether BeginDrain has been called.
@@ -277,10 +325,13 @@ func (s *Server) Drain(ctx context.Context) (completed int64, err error) {
 	}()
 	select {
 	case <-done:
-		return s.reg.Counter(MetricJobsCompleted).Value(), nil
+		completed = s.reg.Counter(MetricJobsCompleted).Value()
+		s.logger.Info("drain complete", "jobs_completed", completed)
+		return completed, nil
 	case <-ctx.Done():
-		return s.reg.Counter(MetricJobsCompleted).Value(),
-			fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+		err = fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+		s.logger.Warn("drain interrupted", "err", err)
+		return s.reg.Counter(MetricJobsCompleted).Value(), err
 	}
 }
 

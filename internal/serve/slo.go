@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"io"
+	"log/slog"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -77,6 +80,33 @@ func (c SLOConfig) Enabled() bool { return c.LatencyBudget > 0 || c.QueueWaitBud
 // meaningful.
 var sloBuckets = obs.ExpBuckets(250e3, 1.4142135623730951, 41)
 
+// SLOTransition is one state change of the guard, as kept in the
+// transition log served by GET /debug/slo. P99Ns is the breaching (or,
+// on recovery, the recovered) rolling p99 at the moment of transition.
+type SLOTransition struct {
+	At      time.Time `json:"at"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Trigger string    `json:"trigger"` // "latency" | "queue_wait" | "recovery"
+	P99Ns   float64   `json:"p99_ns"`
+}
+
+// maxSLOTransitions bounds the transition log; the oldest entries fall
+// off. Transitions are rare (hysteresis), so 64 covers hours of flapping.
+const maxSLOTransitions = 64
+
+// levelName names a degradation level for logs and the debug surface.
+func levelName(level int32) string {
+	switch level {
+	case sloDegraded:
+		return "degraded"
+	case sloCritical:
+		return "critical"
+	default:
+		return "healthy"
+	}
+}
+
 // sloGuard is the runtime state: two rolling windows and the current
 // degradation level.
 type sloGuard struct {
@@ -85,6 +115,13 @@ type sloGuard struct {
 	qwait   *obs.Window // queue wait ns
 	level   atomic.Int32
 	reg     *obs.Registry
+	logger  *slog.Logger
+	now     func() time.Time
+
+	// tmu serializes evaluate's read-modify-write of level (observations
+	// arrive from every worker) and guards the transition log.
+	tmu         sync.Mutex
+	transitions []SLOTransition
 }
 
 func newSLOGuard(cfg SLOConfig, reg *obs.Registry, slots int) *sloGuard {
@@ -94,6 +131,8 @@ func newSLOGuard(cfg SLOConfig, reg *obs.Registry, slots int) *sloGuard {
 		latency: obs.NewWindow(cfg.Window, slots, sloBuckets),
 		qwait:   obs.NewWindow(cfg.Window, slots, sloBuckets),
 		reg:     reg,
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		now:     time.Now,
 	}
 	reg.Gauge(GaugeSLODegraded)
 	reg.Gauge(GaugeSLOLatencyP99)
@@ -101,10 +140,20 @@ func newSLOGuard(cfg SLOConfig, reg *obs.Registry, slots int) *sloGuard {
 	return g
 }
 
-// setClock points both windows at a test clock.
+// setClock points the windows and the transition log at a test clock.
 func (g *sloGuard) setClock(now func() time.Time) {
 	g.latency.SetClock(now)
 	g.qwait.SetClock(now)
+	g.tmu.Lock()
+	g.now = now
+	g.tmu.Unlock()
+}
+
+// Transitions returns a copy of the state-transition log, oldest first.
+func (g *sloGuard) Transitions() []SLOTransition {
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	return append([]SLOTransition(nil), g.transitions...)
 }
 
 // observeLatency records a finished job's wall time and re-evaluates.
@@ -156,8 +205,13 @@ func (g *sloGuard) budgetLevel(w *obs.Window, budget time.Duration, cur int32) i
 	return level
 }
 
-// evaluate recomputes the degradation level and exports the gauges.
+// evaluate recomputes the degradation level, exports the gauges, and —
+// on a state change — appends to the transition log and emits one
+// structured log line. tmu serializes the read-modify-write: workers
+// observe concurrently, and two racing evaluations must not both claim
+// the same transition.
 func (g *sloGuard) evaluate() {
+	g.tmu.Lock()
 	cur := g.level.Load()
 	lat := g.budgetLevel(g.latency, g.cfg.LatencyBudget, cur)
 	qw := g.budgetLevel(g.qwait, g.cfg.QueueWaitBudget, cur)
@@ -166,6 +220,36 @@ func (g *sloGuard) evaluate() {
 		level = qw
 	}
 	g.level.Store(level)
+	if level != cur {
+		// Name the window that demanded the new level; a drop in level is
+		// a recovery regardless of which budget had been breached.
+		trigger := "latency"
+		breaching := g.latency
+		if qw > lat {
+			trigger = "queue_wait"
+			breaching = g.qwait
+		}
+		if level < cur {
+			trigger = "recovery"
+		}
+		p99, _ := breaching.Quantile(0.99)
+		tr := SLOTransition{
+			At: g.now(), From: levelName(cur), To: levelName(level),
+			Trigger: trigger, P99Ns: p99,
+		}
+		g.transitions = append(g.transitions, tr)
+		if len(g.transitions) > maxSLOTransitions {
+			g.transitions = g.transitions[len(g.transitions)-maxSLOTransitions:]
+		}
+		logf := g.logger.Info
+		if level > cur {
+			logf = g.logger.Warn
+		}
+		logf("slo transition",
+			"from", tr.From, "to", tr.To, "trigger", tr.Trigger,
+			"p99_ms", int64(tr.P99Ns/1e6))
+	}
+	g.tmu.Unlock()
 	g.reg.Gauge(GaugeSLODegraded).Set(float64(level))
 	if p, ok := g.latency.Quantile(0.99); ok {
 		g.reg.Gauge(GaugeSLOLatencyP99).Set(p)

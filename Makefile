@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report canary-smoke trace-demo clean
+.PHONY: all build test race bench bench-report bench-compare bench-kernels diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report chaos-trace-report canary-smoke trace-demo clean
 
 all: build test
 
@@ -28,6 +28,13 @@ bench-report:
 bench-compare:
 	$(GO) run ./cmd/benchreport -compare BENCH_PR3.json
 
+# Re-measure the committed kernel-vs-simulation baseline: the bitset
+# counting kernels against the per-node CONGEST simulation on the same
+# seeded instances (run on a quiet machine; see README "Performance").
+bench-kernels:
+	$(GO) run ./cmd/benchreport -pkg ./internal/kernel/ \
+		-bench 'BenchmarkKernel|BenchmarkSim' -out BENCH_PR8.json
+
 # Differential/metamorphic battery: 500 seeded random cases checked
 # against every oracle, failures shrunk to replayable repro artifacts
 # under diffcheck-artifacts/ (see README "Correctness").
@@ -51,15 +58,25 @@ smoke:
 	./scripts/smoke_subgraphd.sh
 
 # Re-measure the committed serving baseline (in-process server; run on a
-# quiet machine).
+# quiet machine). All loadgen baselines share -jobs 400 -seed 1 and a
+# 100-job warm-up so their cache/shed sections stay comparable; the mix
+# descriptor is recorded in the report's "workload" field and
+# cmd/benchreport warns when diffing reports whose mixes differ.
 loadgen-report:
-	$(GO) run ./cmd/subgraphd -loadgen -jobs 400 -seed 1 -out BENCH_PR4.json
+	$(GO) run ./cmd/subgraphd -loadgen -jobs 400 -seed 1 -warmup 100 \
+		-out BENCH_PR4.json
 
 # Re-measure the committed robustness baseline: seeded chaos injection,
 # SLO load shedding, full-fraction canary (see README "Robustness").
 chaos-report:
 	$(GO) run ./cmd/subgraphd -loadgen -chaos -canary 1.0 -jobs 400 -seed 1 \
-		-workers 2 -slo-p99 150ms -low-frac 0.3 -out BENCH_PR6.json
+		-warmup 100 -workers 2 -slo-p99 150ms -low-frac 0.3 -out BENCH_PR6.json
+
+# Re-measure the committed traced-chaos baseline (E10): the same regime
+# as chaos-report, warmed, with the span-derived latency breakdown.
+chaos-trace-report:
+	$(GO) run ./cmd/subgraphd -loadgen -chaos -canary 1.0 -jobs 400 -seed 1 \
+		-warmup 100 -workers 2 -slo-p99 150ms -low-frac 0.3 -out BENCH_PR7.json
 
 # Short chaos run that ends by dumping one completed job's span timeline
 # (fetched back through /debug/jobs/{id}) and the Prometheus text page

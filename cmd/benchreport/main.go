@@ -36,12 +36,17 @@ type Benchmark struct {
 // the same benchmarks measured on an older engine for the PR's
 // before/after claim; the compare mode ignores it.
 type Report struct {
-	Schema     string      `json:"schema"`
-	GoVersion  string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	Package    string      `json:"package"`
-	Benchtime  string      `json:"benchtime"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Package   string `json:"package"`
+	Benchtime string `json:"benchtime"`
+	// Workload is the loadgen mix descriptor for serve measurements
+	// (empty for go test benchmarks). Two reports with different
+	// workloads measured different job mixes; diff warns rather than
+	// letting the delta table imply a like-for-like comparison.
+	Workload   string      `json:"workload,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Reference  *Reference  `json:"reference,omitempty"`
 }
@@ -168,6 +173,18 @@ func writeReport(path string, r *Report) error {
 // diff prints a delta table and reports whether any ns/op regression
 // exceeds maxRegress percent (always false when maxRegress is 0).
 func diff(base, cur *Report, maxRegress float64) bool {
+	// A delta table only means something when both sides measured the
+	// same thing. Different packages or loadgen workloads (job mix,
+	// warm-up, chaos context) make the rows incommensurable — say so
+	// up front instead of letting the percentages mislead.
+	if base.Package != cur.Package {
+		fmt.Printf("WARNING: comparing different packages: base %q vs current %q — deltas below are not like-for-like\n",
+			base.Package, cur.Package)
+	}
+	if base.Workload != cur.Workload {
+		fmt.Printf("WARNING: comparing different workloads:\n  base:    %q\n  current: %q\n  deltas below are not like-for-like\n",
+			base.Workload, cur.Workload)
+	}
 	byName := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b

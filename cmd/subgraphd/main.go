@@ -61,6 +61,8 @@ func run() int {
 		graphN      = flag.Int("graph-n", 150, "loadgen: vertices per generated topology")
 		repeatFrac  = flag.Float64("repeat", 0.5, "loadgen: fraction of jobs repeating an earlier one (cache exercise)")
 		lowFrac     = flag.Float64("low-frac", 0, "loadgen: fraction of jobs submitted at low priority (the tier the SLO guard sheds first)")
+		countFrac   = flag.Float64("count-frac", 0, "loadgen: fraction of jobs submitted in count mode (clique patterns routed to the local bitset kernel)")
+		warmup      = flag.Int("warmup", 0, "loadgen: unmeasured warm-up jobs replayed before the metrics snapshot (steady-state cache/kernel measurement)")
 		chaos       = flag.Bool("chaos", false, "loadgen: wrap the in-process server in seeded fault injection (429/503/latency) — grades the client's retry policy")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "loadgen: fault-injection seed")
 		out         = flag.String("out", "", "loadgen: write the benchreport JSON here (default stdout)")
@@ -165,6 +167,8 @@ func run() int {
 			GraphN:              *graphN,
 			RepeatFraction:      *repeatFrac,
 			LowPriorityFraction: *lowFrac,
+			CountFraction:       *countFrac,
+			Warmup:              *warmup,
 			Logf:                logf,
 		}, *out, chaosCfg, cn, *traceDemo)
 

@@ -12,6 +12,8 @@ import (
 
 	"subgraph"
 	"subgraph/internal/congest"
+	"subgraph/internal/graph"
+	"subgraph/internal/kernel"
 	"subgraph/internal/serve"
 )
 
@@ -38,6 +40,7 @@ type Harness struct {
 	mu     sync.Mutex
 	srv    *serve.InProcess
 	srvErr error
+	kern   *kernel.Kernel
 }
 
 // NewHarness returns an empty harness; resources start on first use.
@@ -53,6 +56,16 @@ func (h *Harness) server() (*serve.InProcess, error) {
 	return h.srv, h.srvErr
 }
 
+// kernel starts (once) and returns the shared local counting kernel.
+func (h *Harness) kernel() *kernel.Kernel {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.kern == nil {
+		h.kern = kernel.New(2)
+	}
+	return h.kern
+}
+
 // Close releases harness resources.
 func (h *Harness) Close() {
 	h.mu.Lock()
@@ -60,6 +73,10 @@ func (h *Harness) Close() {
 	if h.srv != nil {
 		_ = h.srv.Close(10 * time.Second)
 		h.srv = nil
+	}
+	if h.kern != nil {
+		h.kern.Close()
+		h.kern = nil
 	}
 }
 
@@ -86,6 +103,21 @@ func faultFree(c *Case) bool {
 
 // always is the Applies gate of unconditional oracles.
 func always(*Case) bool { return true }
+
+// cliqueFamily gates the kernel oracles: fault-free cases whose pattern
+// the local kernel backend accepts (K_2..K_8, including the triangle and
+// cycle:3 aliases).
+func cliqueFamily(c *Case) bool {
+	if !faultFree(c) {
+		return false
+	}
+	h, err := c.PatternGraph()
+	if err != nil {
+		return false
+	}
+	_, ok := kernel.CliqueSize(h)
+	return ok
+}
 
 // detectCase runs the library Detect for the case, optionally mutating
 // the options first.
@@ -213,6 +245,18 @@ func Oracles() []Oracle {
 				return !faultFree(c)
 			},
 			Check: checkFaultAccounting,
+		},
+		{
+			Name:    "kernel-vs-truth",
+			Doc:     "bitset kernel counts equal Chiba–Nishizeki enumeration; dense ≡ hybrid; detection equals VF2; batch ≡ single",
+			Applies: cliqueFamily,
+			Check:   checkKernelVsTruth,
+		},
+		{
+			Name:    "kernel-vs-congest",
+			Doc:     "kernel clique detection is consistent with both CONGEST engines (exact two-sided, randomized one-sided)",
+			Applies: cliqueFamily,
+			Check:   checkKernelVsCongest,
 		},
 		{
 			Name:    "serve-roundtrip",
@@ -414,6 +458,74 @@ func checkFaultAccounting(_ *Harness, c *Case) error {
 		return fmt.Errorf("traffic run under faults: %w", err)
 	}
 	return rec.check(res.Stats)
+}
+
+// checkKernelVsTruth pins the word-parallel kernel to the enumeration
+// ground truth (graph.CountCliques) and the VF2 containment oracle, and
+// the two adjacency forms and the batched entry point to each other.
+func checkKernelVsTruth(h *Harness, c *Case) error {
+	g, err := c.Graph()
+	if err != nil {
+		return err
+	}
+	p, err := c.PatternGraph()
+	if err != nil {
+		return err
+	}
+	s, _ := kernel.CliqueSize(p)
+	k := h.kernel()
+	want := g.CountCliques(s)
+	dense := graph.NewBitAdjacencyDense(g)
+	hybrid := graph.NewBitAdjacencyHybrid(g)
+	for _, b := range []*graph.BitAdjacency{dense, hybrid} {
+		if got := k.Count(b, s); got != want {
+			return fmt.Errorf("%s kernel counts %d copies of K_%d but enumeration counts %d", b.Mode(), got, s, want)
+		}
+		if got := k.Detect(b, s); got != (want > 0) {
+			return fmt.Errorf("%s kernel Detect(K_%d) = %v with %d enumerated copies", b.Mode(), s, got, want)
+		}
+	}
+	if truth := subgraph.ContainsSubgraph(p, g); truth != (want > 0) {
+		return fmt.Errorf("VF2 containment %v disagrees with enumeration count %d for K_%d", truth, want, s)
+	}
+	batch := k.CountBatch(dense, []int{s, s})
+	if batch[0] != want || batch[1] != want {
+		return fmt.Errorf("CountBatch(K_%d, K_%d) = %v, single-pass count %d", s, s, batch, want)
+	}
+	return nil
+}
+
+// checkKernelVsCongest pins the kernel's detection decision to both
+// CONGEST engines: exact detectors must agree exactly, one-sided
+// detectors may miss copies but never invent them.
+func checkKernelVsCongest(h *Harness, c *Case) error {
+	g, err := c.Graph()
+	if err != nil {
+		return err
+	}
+	p, err := c.PatternGraph()
+	if err != nil {
+		return err
+	}
+	s, _ := kernel.CliqueSize(p)
+	kdet := h.kernel().Detect(graph.NewBitAdjacency(g), s)
+	for _, engine := range []struct {
+		name     string
+		parallel bool
+	}{{"sequential", false}, {"parallel", true}} {
+		rep, err := detectCase(c, func(o *subgraph.Options) { o.Parallel = engine.parallel })
+		if err != nil {
+			return fmt.Errorf("%s engine: %w", engine.name, err)
+		}
+		if exactAlgorithms[rep.Algorithm] {
+			if rep.Detected != kdet {
+				return fmt.Errorf("%s engine (%s) reports detected=%v but the kernel says %v", engine.name, rep.Algorithm, rep.Detected, kdet)
+			}
+		} else if rep.Detected && !kdet {
+			return fmt.Errorf("one-sided detector %s (%s engine) found K_%d but the kernel counts zero copies (false positive)", rep.Algorithm, engine.name, s)
+		}
+	}
+	return nil
 }
 
 func checkServeRoundtrip(h *Harness, c *Case) error {

@@ -1,0 +1,173 @@
+package graph
+
+import "fmt"
+
+// Bitset adjacency: the word-parallel layout behind internal/kernel.
+//
+// Vertices are relabeled by degeneracy rank (DegeneracyRank), and the
+// adjacency is stored in one of two forms chosen by size:
+//
+//   - dense: one n-bit row of []uint64 words per vertex, rows and bit
+//     positions both indexed by rank. A neighborhood intersection is a
+//     word-wise AND + popcount over 64 vertices at a time.
+//   - hybrid: above the dense memory budget, only the degeneracy-ordered
+//     forward adjacency (higher-rank neighbors) is kept in CSR form. The
+//     kernels pair it with per-worker n-bit scratch rows, marking one
+//     forward neighborhood at a time — the Chiba–Nishizeki layout, bounded
+//     by the degeneracy instead of n.
+//
+// Both forms describe the same graph; kernel results are pinned equal
+// across them by tests and by the diffcheck kernel oracles.
+
+// BitAdjacencyMode names the storage form a BitAdjacency chose.
+type BitAdjacencyMode string
+
+const (
+	BitDense  BitAdjacencyMode = "dense"
+	BitHybrid BitAdjacencyMode = "hybrid"
+)
+
+// denseWordBudget bounds the dense form's row storage (n × words-per-row
+// uint64 words, 16 MiB at the default): under it the full n×n bit matrix
+// fits comfortably in cache-adjacent memory; above it the hybrid form's
+// O(m + n/64-per-worker) footprint wins. ~11.5k vertices at the boundary.
+const denseWordBudget = 1 << 21
+
+// BitAdjacency is an immutable rank-relabeled adjacency in bitset form.
+// Build one per graph with NewBitAdjacency and share it freely: like
+// Graph, it is never mutated after construction.
+type BitAdjacency struct {
+	n     int
+	m     int
+	words int // uint64 words per dense row: ceil(n/64)
+	mode  BitAdjacencyMode
+
+	order []int32 // order[r] = original vertex at rank r
+	rank  []int32 // rank[v] = r
+	degen int
+
+	// Dense form: rows[r*words : (r+1)*words] is the full neighborhood of
+	// the rank-r vertex; bit q is set iff {order[r], order[q]} is an edge.
+	rows []uint64
+
+	// Hybrid form: forward (higher-rank) neighbor ranks in CSR form,
+	// ascending within each list. fwd always exists (the dense form keeps
+	// it too — edge iteration walks it instead of scanning row words).
+	fwdOff []int32
+	fwd    []int32
+}
+
+// NewBitAdjacency builds the bitset adjacency for g, choosing dense rows
+// when they fit the memory budget and the hybrid form otherwise.
+func NewBitAdjacency(g *Graph) *BitAdjacency {
+	words := (g.n + 63) / 64
+	if g.n == 0 || g.n*words <= denseWordBudget {
+		return NewBitAdjacencyDense(g)
+	}
+	return NewBitAdjacencyHybrid(g)
+}
+
+// NewBitAdjacencyDense builds the dense form regardless of size. Tests
+// and oracles use the explicit constructors to pin dense ≡ hybrid.
+func NewBitAdjacencyDense(g *Graph) *BitAdjacency {
+	b := newBitAdjacency(g, BitDense)
+	b.rows = make([]uint64, b.n*b.words)
+	for r := 0; r < b.n; r++ {
+		for _, q := range b.Forward(int32(r)) {
+			b.rows[r*b.words+int(q)>>6] |= 1 << (uint(q) & 63)
+			b.rows[int(q)*b.words+r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+	return b
+}
+
+// NewBitAdjacencyHybrid builds the hybrid form regardless of size.
+func NewBitAdjacencyHybrid(g *Graph) *BitAdjacency {
+	return newBitAdjacency(g, BitHybrid)
+}
+
+// newBitAdjacency computes the shared rank relabeling and the forward
+// CSR both forms carry.
+func newBitAdjacency(g *Graph, mode BitAdjacencyMode) *BitAdjacency {
+	order, rank, degen := g.DegeneracyRank()
+	b := &BitAdjacency{
+		n:     g.n,
+		m:     g.m,
+		words: (g.n + 63) / 64,
+		mode:  mode,
+		order: order,
+		rank:  rank,
+		degen: degen,
+	}
+	// Forward CSR by rank: counting sort on the source rank, then an
+	// insertion-sort pass per list (lists are ≤ degeneracy long and the
+	// counting fill emits them nearly sorted on natural inputs).
+	b.fwdOff = make([]int32, b.n+1)
+	for v := 0; v < g.n; v++ {
+		rv := rank[v]
+		for _, w := range g.adj[v] {
+			if rank[w] > rv {
+				b.fwdOff[rv+1]++
+			}
+		}
+	}
+	for r := 0; r < b.n; r++ {
+		b.fwdOff[r+1] += b.fwdOff[r]
+	}
+	b.fwd = make([]int32, g.m)
+	cursor := make([]int32, b.n)
+	for v := 0; v < g.n; v++ {
+		rv := rank[v]
+		for _, w := range g.adj[v] {
+			if rw := rank[w]; rw > rv {
+				b.fwd[b.fwdOff[rv]+cursor[rv]] = rw
+				cursor[rv]++
+			}
+		}
+	}
+	for r := 0; r < b.n; r++ {
+		list := b.fwd[b.fwdOff[r]:b.fwdOff[r+1]]
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && list[j-1] > list[j]; j-- {
+				list[j-1], list[j] = list[j], list[j-1]
+			}
+		}
+	}
+	return b
+}
+
+// N returns the vertex count.
+func (b *BitAdjacency) N() int { return b.n }
+
+// M returns the edge count.
+func (b *BitAdjacency) M() int { return b.m }
+
+// Words returns the uint64 words per dense row: ceil(N/64).
+func (b *BitAdjacency) Words() int { return b.words }
+
+// Mode reports which storage form was built.
+func (b *BitAdjacency) Mode() BitAdjacencyMode { return b.mode }
+
+// Degeneracy returns the graph's degeneracy (the max forward degree).
+func (b *BitAdjacency) Degeneracy() int { return b.degen }
+
+// Order returns the rank→vertex map. Callers must not modify it.
+func (b *BitAdjacency) Order() []int32 { return b.order }
+
+// Rank returns the vertex→rank map. Callers must not modify it.
+func (b *BitAdjacency) Rank() []int32 { return b.rank }
+
+// Row returns the dense n-bit neighborhood row of the rank-r vertex.
+// It panics in hybrid mode — kernels branch on Mode() first.
+func (b *BitAdjacency) Row(r int32) []uint64 {
+	if b.mode != BitDense {
+		panic(fmt.Sprintf("graph: Row(%d) on %s BitAdjacency", r, b.mode))
+	}
+	return b.rows[int(r)*b.words : (int(r)+1)*b.words]
+}
+
+// Forward returns the ascending ranks of the rank-r vertex's higher-rank
+// neighbors (at most Degeneracy() of them). Callers must not modify it.
+func (b *BitAdjacency) Forward(r int32) []int32 {
+	return b.fwd[b.fwdOff[r]:b.fwdOff[r+1]]
+}

@@ -10,51 +10,13 @@ package graph
 
 // DegeneracyOrder returns a vertex ordering v_1..v_n such that each vertex
 // has at most `degeneracy` neighbors later in the order, along with the
-// degeneracy itself. Standard bucket peeling in O(n+m).
+// degeneracy itself. It is the []int convenience form of DegeneracyRank
+// (degeneracy.go), which the bitset layout and the kernels use directly.
 func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
-	n := g.n
-	deg := make([]int, n)
-	maxDeg := 0
-	for v := 0; v < n; v++ {
-		deg[v] = len(g.adj[v])
-		if deg[v] > maxDeg {
-			maxDeg = deg[v]
-		}
-	}
-	buckets := make([][]int, maxDeg+1)
-	for v := 0; v < n; v++ {
-		buckets[deg[v]] = append(buckets[deg[v]], v)
-	}
-	removed := make([]bool, n)
-	order = make([]int, 0, n)
-	cur := 0
-	for len(order) < n {
-		if cur > maxDeg {
-			break
-		}
-		if len(buckets[cur]) == 0 {
-			cur++
-			continue
-		}
-		v := buckets[cur][len(buckets[cur])-1]
-		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
-		if removed[v] || deg[v] != cur {
-			continue // stale bucket entry
-		}
-		removed[v] = true
-		order = append(order, v)
-		if cur > degeneracy {
-			degeneracy = cur
-		}
-		for _, w := range g.adj[v] {
-			if !removed[w] {
-				deg[w]--
-				buckets[deg[w]] = append(buckets[deg[w]], int(w))
-				if deg[w] < cur {
-					cur = deg[w]
-				}
-			}
-		}
+	o32, _, degeneracy := g.DegeneracyRank()
+	order = make([]int, len(o32))
+	for i, v := range o32 {
+		order[i] = int(v)
 	}
 	return order, degeneracy
 }
@@ -87,11 +49,7 @@ func (g *Graph) ForEachClique(s int, visit func(clique []int) bool) {
 		}
 		return
 	}
-	order, _ := g.DegeneracyOrder()
-	rank := make([]int, g.n)
-	for i, v := range order {
-		rank[v] = i
-	}
+	order, rank, _ := g.DegeneracyRank()
 	// later[v] = neighbors of v with higher rank.
 	later := make([][]int, g.n)
 	for v := 0; v < g.n; v++ {
@@ -135,7 +93,7 @@ func (g *Graph) ForEachClique(s int, visit func(clique []int) bool) {
 		return true
 	}
 	for _, v := range order {
-		clique = append(clique[:0], v)
+		clique = append(clique[:0], int(v))
 		if !extend(later[v]) {
 			return
 		}

@@ -1,0 +1,67 @@
+package graph
+
+// Degeneracy ordering, shared by the Chiba–Nishizeki clique enumeration
+// (cliques.go) and the word-parallel detection kernels (internal/kernel
+// via the BitAdjacency layout in bitset.go).
+//
+// The ordering is produced by standard bucket peeling in O(n+m):
+// repeatedly remove a minimum-degree vertex. Each vertex then has at
+// most `degeneracy` neighbors later in the order, which is the bound
+// every forward-neighborhood algorithm in this repository leans on.
+
+// DegeneracyRank computes a degeneracy ordering in the flat int32 form
+// the kernels consume: order[r] is the vertex at rank r, rank[v] is the
+// position of v in the order, and degeneracy is the largest forward
+// degree any vertex has under the ordering (the graph's degeneracy).
+//
+// DegeneracyOrder (cliques.go) is the []int convenience wrapper around
+// this helper; both produce the same ordering.
+func (g *Graph) DegeneracyRank() (order, rank []int32, degeneracy int) {
+	n := g.n
+	order = make([]int32, 0, n)
+	rank = make([]int32, n)
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.adj[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		rank[v] = int32(len(order))
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.adj[v] {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		}
+	}
+	return order, rank, degeneracy
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "testing"
+
+// TestDegeneracyRankProperties pins the shared ordering helper to its
+// definition: every vertex has at most `degeneracy` neighbors later in
+// the order, and the bound is tight (some vertex meets it on non-empty
+// graphs).
+func TestDegeneracyRankProperties(t *testing.T) {
+	for gi, g := range bitsetCorpus(t) {
+		order, rank, d := g.DegeneracyRank()
+		if len(order) != g.N() || len(rank) != g.N() {
+			t.Fatalf("graph %d (%v): order/rank lengths %d/%d, want %d", gi, g, len(order), len(rank), g.N())
+		}
+		seen := make([]bool, g.N())
+		for r, v := range order {
+			if rank[v] != int32(r) {
+				t.Fatalf("graph %d (%v): rank[order[%d]] = %d", gi, g, r, rank[v])
+			}
+			if seen[v] {
+				t.Fatalf("graph %d (%v): vertex %d appears twice in the order", gi, g, v)
+			}
+			seen[v] = true
+		}
+		maxFwd := 0
+		for v := 0; v < g.N(); v++ {
+			fwd := 0
+			for _, w := range g.Neighbors(v) {
+				if rank[w] > rank[v] {
+					fwd++
+				}
+			}
+			if fwd > d {
+				t.Fatalf("graph %d (%v): vertex %d has %d forward neighbors, degeneracy claimed %d", gi, g, v, fwd, d)
+			}
+			if fwd > maxFwd {
+				maxFwd = fwd
+			}
+		}
+		if g.M() > 0 && maxFwd != d {
+			t.Fatalf("graph %d (%v): max forward degree %d ≠ claimed degeneracy %d", gi, g, maxFwd, d)
+		}
+	}
+}
+
+// TestDegeneracyRankAgainstLayerDecomposition pins the helper against
+// the Barenboim–Elkin peeling in decompose.go: with threshold d (the
+// claimed degeneracy) and enough rounds the decomposition must succeed,
+// and with threshold d-1 it must fail — together these say the claimed
+// value IS the degeneracy, as decompose.go computes it.
+func TestDegeneracyRankAgainstLayerDecomposition(t *testing.T) {
+	for gi, g := range bitsetCorpus(t) {
+		_, _, d := g.DegeneracyRank()
+		if g.N() == 0 {
+			continue
+		}
+		if _, ok := LayerDecomposition(g, d, g.N()+1); !ok {
+			t.Fatalf("graph %d (%v): peeling at threshold %d (the degeneracy) failed", gi, g, d)
+		}
+		if d > 0 {
+			if _, ok := LayerDecomposition(g, d-1, g.N()+1); ok {
+				t.Fatalf("graph %d (%v): peeling at threshold %d succeeded — degeneracy %d is not tight", gi, g, d-1, d)
+			}
+		}
+	}
+}
+
+// TestDegeneracyOrderWrapperAgrees pins the []int convenience wrapper to
+// the int32 helper.
+func TestDegeneracyOrderWrapperAgrees(t *testing.T) {
+	for gi, g := range bitsetCorpus(t) {
+		o32, _, d32 := g.DegeneracyRank()
+		o, d := g.DegeneracyOrder()
+		if d != d32 || len(o) != len(o32) {
+			t.Fatalf("graph %d (%v): wrapper (len %d, d %d) vs helper (len %d, d %d)", gi, g, len(o), d, len(o32), d32)
+		}
+		for i := range o {
+			if o[i] != int(o32[i]) {
+				t.Fatalf("graph %d (%v): order differs at %d: %d vs %d", gi, g, i, o[i], o32[i])
+			}
+		}
+	}
+}

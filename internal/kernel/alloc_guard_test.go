@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraph/internal/graph"
+)
+
+// Steady-state allocation guards, in the PR 3 arena-guard style: the
+// kernel's scratch (worker rows, marks, candidate lists, chunk bounds)
+// is sized on first contact with a graph and must then be reused — a
+// per-pass or per-edge allocation sneaking into the hot path multiplies
+// across the serve batch loop and fails loudly here.
+
+func steadyPassAllocs(t *testing.T, k *Kernel, b *graph.BitAdjacency, s, passes int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		for i := 0; i < passes; i++ {
+			k.Count(b, s)
+		}
+	})
+}
+
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.GNP(150, 0.2, rng)
+	for _, mode := range []struct {
+		name string
+		bits *graph.BitAdjacency
+	}{
+		{"dense", graph.NewBitAdjacencyDense(g)},
+		{"hybrid", graph.NewBitAdjacencyHybrid(g)},
+	} {
+		for _, s := range []int{3, 4, 5} {
+			k := New(3)
+			k.Count(mode.bits, s) // warm the scratch
+			if got := testing.AllocsPerRun(20, func() { k.Count(mode.bits, s) }); got != 0 {
+				t.Errorf("%s K_%d: steady-state pass allocates %.1f objects, want 0", mode.name, s, got)
+			}
+			// The PR 3 scale check: 8× the passes must not mean 8× the
+			// allocations — per-pass cost has to be exactly zero.
+			few := steadyPassAllocs(t, k, mode.bits, s, 5)
+			many := steadyPassAllocs(t, k, mode.bits, s, 40)
+			if few != many {
+				t.Errorf("%s K_%d: 5 passes allocate %.1f but 40 passes allocate %.1f — steady state leaks per pass",
+					mode.name, s, few, many)
+			}
+			k.Close()
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// Kernel-vs-simulation benchmarks: the BENCH_PR8.json measurement set.
+//
+// Both sides answer the same question on the same seeded instances —
+// "does G contain K_s (and how many copies)?" — the simulation through
+// subgraph.Detect's CONGEST engines (the serve detect path), the kernel
+// through a full BitAdjacency build plus counting pass (the serve count
+// path pays both on every cache miss, so the build is inside the
+// measured op). EXPERIMENTS.md E11 reproduces this sweep.
+
+// benchInstance builds the shared seeded workload graph: GNP with a
+// planted K_4 so detection has a witness to find.
+func benchInstance(n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(42))
+	g, _ := graph.PlantClique(graph.GNP(n, p, rng), 4, rng)
+	return g
+}
+
+func benchKernel(b *testing.B, g *graph.Graph, s int) {
+	b.Helper()
+	k := New(0)
+	defer k.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		bits := graph.NewBitAdjacency(g)
+		sink += k.Count(bits, s)
+	}
+	_ = sink
+}
+
+func benchSim(b *testing.B, g *graph.Graph, pattern string) {
+	b.Helper()
+	nw := subgraph.NewNetwork(g)
+	h, err := subgraph.ParsePattern(pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subgraph.Detect(nw, h, subgraph.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelTriangleN300(b *testing.B) { benchKernel(b, benchInstance(300, 0.05), 3) }
+func BenchmarkSimTriangleN300(b *testing.B)    { benchSim(b, benchInstance(300, 0.05), "triangle") }
+
+func BenchmarkKernelTriangleN600(b *testing.B) { benchKernel(b, benchInstance(600, 0.03), 3) }
+func BenchmarkSimTriangleN600(b *testing.B)    { benchSim(b, benchInstance(600, 0.03), "triangle") }
+
+func BenchmarkKernelClique4N300(b *testing.B) { benchKernel(b, benchInstance(300, 0.05), 4) }
+func BenchmarkSimClique4N300(b *testing.B)    { benchSim(b, benchInstance(300, 0.05), "clique:4") }
+
+func BenchmarkKernelClique5N200(b *testing.B) { benchKernel(b, benchInstance(200, 0.1), 5) }
+func BenchmarkSimClique5N200(b *testing.B)    { benchSim(b, benchInstance(200, 0.1), "clique:5") }
+
+// BenchmarkKernelBatch16TriangleN300 measures the batched shape serve
+// uses under pressure: one adjacency build amortized over 16 counting
+// requests (4 distinct sizes × 4 repeats) in a single pass set.
+func BenchmarkKernelBatch16TriangleN300(b *testing.B) {
+	g := benchInstance(300, 0.05)
+	k := New(0)
+	defer k.Close()
+	sizes := make([]int, 16)
+	for i := range sizes {
+		sizes[i] = 3 + i%4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits := graph.NewBitAdjacency(g)
+		k.CountBatch(bits, sizes)
+	}
+}
+
+// BenchmarkKernelHybridTriangleN600 pins the hybrid form's cost on the
+// same instance the dense benchmark runs (mode is forced; the auto
+// picker would choose dense at this size).
+func BenchmarkKernelHybridTriangleN600(b *testing.B) {
+	g := benchInstance(600, 0.03)
+	k := New(0)
+	defer k.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		bits := graph.NewBitAdjacencyHybrid(g)
+		sink += k.Count(bits, 3)
+	}
+	_ = sink
+}

@@ -1,0 +1,64 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"testing"
+)
+
+// wordsOf packs fuzz bytes into uint64 rows (little-endian, zero-padded
+// tail) so arbitrary inputs exercise partial words and length mismatch.
+func wordsOf(data []byte) []uint64 {
+	out := make([]uint64, (len(data)+7)/8)
+	for i, b := range data {
+		out[i>>3] |= uint64(b) << (uint(i&7) * 8)
+	}
+	return out
+}
+
+// naiveIntersectSize materializes both bitsets as explicit vertex sets
+// and intersects them — the reference the word primitive must match.
+func naiveIntersectSize(a, b []uint64) int64 {
+	in := make(map[int]bool)
+	for wi, w := range a {
+		for w != 0 {
+			in[wi<<6+bits.TrailingZeros64(w)] = true
+			w &= w - 1
+		}
+	}
+	var c int64
+	for wi, w := range b {
+		for w != 0 {
+			if in[wi<<6+bits.TrailingZeros64(w)] {
+				c++
+			}
+			w &= w - 1
+		}
+	}
+	return c
+}
+
+// FuzzIntersectCount pins the popcount-word intersection primitive to a
+// naive set intersection on arbitrary row contents and lengths — the
+// CI fuzz smoke job runs this alongside the bitio and edge-list targets.
+func FuzzIntersectCount(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xff}, []byte{0x0f})
+	f.Add(binary.LittleEndian.AppendUint64(nil, ^uint64(0)), []byte{1, 2, 3})
+	seed := make([]byte, 40)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, seed[8:])
+	f.Fuzz(func(t *testing.T, araw, braw []byte) {
+		a, b := wordsOf(araw), wordsOf(braw)
+		want := naiveIntersectSize(a, b)
+		if got := IntersectCount(a, b); got != want {
+			t.Fatalf("IntersectCount = %d, naive intersection = %d (|a|=%d |b|=%d words)",
+				got, want, len(a), len(b))
+		}
+		if got := IntersectCount(b, a); got != want {
+			t.Fatalf("IntersectCount not symmetric: %d vs naive %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraph/internal/graph"
+)
+
+// corpus is the graph set the kernel correctness properties sweep:
+// structured generators, GNP at several densities, and planted cliques.
+func corpus() []*graph.Graph {
+	rng := rand.New(rand.NewSource(11))
+	gs := []*graph.Graph{
+		graph.NewBuilder(0).Build(),
+		graph.NewBuilder(3).Build(),
+		graph.Path(8),
+		graph.Cycle(9),
+		graph.Star(12),
+		graph.Complete(9),
+		graph.CompleteBipartite(4, 6),
+		graph.BlowUpCycle(3, 3),
+	}
+	for _, n := range []int{12, 40, 64, 65, 90} {
+		for _, p := range []float64{0.1, 0.3, 0.6} {
+			gs = append(gs, graph.GNP(n, p, rng))
+		}
+	}
+	for _, s := range []int{4, 5, 6} {
+		g, _ := graph.PlantClique(graph.GNP(35, 0.1, rng), s, rng)
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// TestKernelCountMatchesChibaNishizeki pins both kernel forms to the
+// existing enumeration ground truth (graph.CountCliques) for every
+// supported clique size, and detection to the VF2 oracle.
+func TestKernelCountMatchesChibaNishizeki(t *testing.T) {
+	k := New(3)
+	defer k.Close()
+	for gi, g := range corpus() {
+		dense := graph.NewBitAdjacencyDense(g)
+		hybrid := graph.NewBitAdjacencyHybrid(g)
+		for s := 1; s <= MaxCliqueSize; s++ {
+			want := g.CountCliques(s)
+			for _, b := range []*graph.BitAdjacency{dense, hybrid} {
+				if got := k.Count(b, s); got != want {
+					t.Fatalf("graph %d (%v) %s: Count(K_%d) = %d, want %d", gi, g, b.Mode(), s, got, want)
+				}
+				if got := k.Detect(b, s); got != (want > 0) {
+					t.Fatalf("graph %d (%v) %s: Detect(K_%d) = %v, want %v", gi, g, b.Mode(), s, got, want > 0)
+				}
+			}
+			if s >= 2 && s <= 6 {
+				if vf2 := graph.ContainsSubgraph(graph.Complete(s), g); vf2 != (want > 0) {
+					t.Fatalf("graph %d (%v): VF2 says K_%d present=%v but enumeration counts %d", gi, g, s, vf2, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelWorkerCounts pins the count to be independent of the pool
+// size (chunking and reduction must not drop or double work).
+func TestKernelWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GNP(120, 0.25, rng)
+	b := graph.NewBitAdjacencyDense(g)
+	want := g.CountCliques(4)
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		k := New(workers)
+		if got := k.Count(b, 4); got != want {
+			t.Fatalf("workers=%d: Count(K_4) = %d, want %d", workers, got, want)
+		}
+		k.Close()
+	}
+}
+
+// TestCountBatch pins the batched API to per-size calls, including
+// duplicate sizes sharing one computation.
+func TestCountBatch(t *testing.T) {
+	k := New(2)
+	defer k.Close()
+	rng := rand.New(rand.NewSource(9))
+	g := graph.GNP(70, 0.3, rng)
+	b := graph.NewBitAdjacencyHybrid(g)
+	sizes := []int{3, 4, 3, 5, 2, 4}
+	got := k.CountBatch(b, sizes)
+	for i, s := range sizes {
+		if want := g.CountCliques(s); got[i] != want {
+			t.Fatalf("batch[%d] (K_%d) = %d, want %d", i, s, got[i], want)
+		}
+	}
+}
+
+// TestCliqueSize pins the serve-side eligibility gate.
+func TestCliqueSize(t *testing.T) {
+	for s := 2; s <= MaxCliqueSize; s++ {
+		if got, ok := CliqueSize(graph.Complete(s)); !ok || got != s {
+			t.Fatalf("CliqueSize(K_%d) = (%d, %v)", s, got, ok)
+		}
+	}
+	for _, h := range []*graph.Graph{
+		graph.Complete(1),
+		graph.Complete(MaxCliqueSize + 1),
+		graph.Cycle(4),
+		graph.Path(4),
+		graph.Star(3),
+	} {
+		if _, ok := CliqueSize(h); ok {
+			t.Fatalf("CliqueSize(%v) accepted a non-clique-family pattern", h)
+		}
+	}
+}
+
+// TestIntersectCount pins the word primitive on deterministic cases the
+// fuzz target then widens.
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []uint64
+		want int64
+	}{
+		{nil, nil, 0},
+		{[]uint64{0}, []uint64{^uint64(0)}, 0},
+		{[]uint64{^uint64(0)}, []uint64{^uint64(0)}, 64},
+		{[]uint64{0b1011}, []uint64{0b1110}, 2},
+		{[]uint64{1, 2, 4}, []uint64{1, 3}, 2}, // shorter row wins
+	}
+	for i, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: IntersectCount = %d, want %d", i, got, c.want)
+		}
+		if got := IntersectCount(c.b, c.a); got != c.want {
+			t.Fatalf("case %d: IntersectCount not symmetric: %d vs %d", i, got, c.want)
+		}
+	}
+}

@@ -106,6 +106,22 @@ func (v *TimelineView) SpanByName(name string) *SpanView {
 	return nil
 }
 
+// SpansByName returns every span with the given name, in start order —
+// batch passes hang one kernel_run span per job under distinct roots,
+// and the loadgen breakdown aggregates them all.
+func (v *TimelineView) SpansByName(name string) []*SpanView {
+	if v == nil {
+		return nil
+	}
+	var out []*SpanView
+	for i := range v.Spans {
+		if v.Spans[i].Name == name {
+			out = append(out, &v.Spans[i])
+		}
+	}
+	return out
+}
+
 // DurationNs is the span's length.
 func (s *SpanView) DurationNs() int64 {
 	if s == nil {

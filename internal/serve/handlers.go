@@ -261,16 +261,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// SLO load shedding: under degradation, below-threshold priorities are
-	// bounced before they can occupy queue or workers.
+	// bounced before they can occupy queue or workers. Count jobs are the
+	// exception — the PR 6 follow-up: instead of shedding them, the guard
+	// lets them through to batch-coalesce into shared kernel passes, whose
+	// marginal cost under pressure is near zero (one pass per digest).
 	if s.slo.shouldShed(spec.Priority) {
-		s.reg.Counter(MetricJobsShed).Inc()
-		root.Annotate("outcome", "shed")
-		root.Finish()
-		s.publishTimeline(j, "shed")
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-		writeErr(w, http.StatusTooManyRequests,
-			"shedding %s-priority load: p99 over budget; retry later", displayPriority(spec.Priority))
-		return
+		if j.count {
+			s.reg.Counter(MetricJobsPressureBatched).Inc()
+			root.Annotate("slo", "batch_coalesced")
+		} else {
+			s.reg.Counter(MetricJobsShed).Inc()
+			root.Annotate("outcome", "shed")
+			root.Finish()
+			s.publishTimeline(j, "shed")
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+			writeErr(w, http.StatusTooManyRequests,
+				"shedding %s-priority load: p99 over budget; retry later", displayPriority(spec.Priority))
+			return
+		}
 	}
 
 	// Register before enqueue: a worker may pick the job up (and even
@@ -291,6 +299,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// so the field write is unsynchronized-safe.
 	j.queueSpan = root.StartChild("queue_wait")
 	queued, draining := s.enqueue(j)
+	if queued && j.count {
+		// Index the admitted count job for digest-level batching. Safe
+		// after enqueue: if a worker already claimed it, add is a no-op.
+		s.batchAdd(j)
+	}
 	switch {
 	case draining:
 		s.unregister(j)

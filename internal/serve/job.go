@@ -7,7 +7,14 @@ import (
 	"time"
 
 	"subgraph"
+	"subgraph/internal/kernel"
 	"subgraph/internal/obs"
+)
+
+// Execution modes (JobSpec.Mode).
+const (
+	ModeDetect = "detect"
+	ModeCount  = "count"
 )
 
 // JobSpec is the wire form of a job submission (POST /v1/jobs).
@@ -21,6 +28,14 @@ type JobSpec struct {
 	// Pattern is a subgraph.ParsePattern spec: triangle | cycle:L |
 	// clique:S | path:L | star:L.
 	Pattern string `json:"pattern"`
+	// Mode selects the execution backend. "" or "detect" runs the CONGEST
+	// simulation (the default, byte-identical to library Detect calls).
+	// "count" answers clique-family patterns (triangle, cycle:3,
+	// clique:2..8) with the word-parallel local kernel instead: the result
+	// carries the exact copy count, Rounds/BandwidthBits are zero (no
+	// simulation ran), and jobs for the same graph batch into one shared
+	// kernel pass. Count jobs cannot request traces or fault injection.
+	Mode string `json:"mode,omitempty"`
 	// Options tunes the run (seed, reps, faults, deadline_ms, ...).
 	Options subgraph.OptionsSpec `json:"options"`
 	// Trace requests a JSONL event trace, downloadable from
@@ -54,6 +69,10 @@ type JobResult struct {
 	// AbortReason carries the abort error. Partial results are not cached.
 	Partial     bool   `json:"partial,omitempty"`
 	AbortReason string `json:"abort_reason,omitempty"`
+	// Count is the exact number of pattern copies, set by count-mode jobs
+	// (the kernel backend counts as it detects). A pointer so detect-mode
+	// results omit it while a legitimate zero count survives encoding.
+	Count *int64 `json:"count,omitempty"`
 }
 
 // Job states.
@@ -86,6 +105,8 @@ type JobView struct {
 	DurationMs int64 `json:"duration_ms,omitempty"`
 	// Priority echoes the submitted priority (empty = normal).
 	Priority string `json:"priority,omitempty"`
+	// Mode echoes the submitted execution mode ("count"; empty = detect).
+	Mode string `json:"mode,omitempty"`
 	// TraceID is the job's trace identity: propagated from the client's
 	// X-Trace-Id header or generated at admission. The job's full span
 	// timeline is retrievable at /debug/jobs/{id} under it.
@@ -108,6 +129,12 @@ type job struct {
 	key      string               // cache key
 	trace    bool
 	priority string
+	count    bool // count mode: answered by the kernel backend
+	cliqueS  int  // clique size for count jobs (kernel.CliqueSize)
+
+	// batchClaimed marks a count job owned by a kernel batch pass. It is
+	// guarded by Server.mu, not j.mu (see batch.go).
+	batchClaimed bool
 
 	// Span plumbing. tl/rootSpan are set at admission (handleJobSubmit)
 	// before the job is visible to any worker; queueSpan is set under
@@ -141,12 +168,17 @@ func (j *job) terminal() bool {
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	mode := ""
+	if j.count {
+		mode = ModeCount
+	}
 	return JobView{
 		ID:             j.id,
 		State:          j.state,
 		Graph:          j.digest,
 		Pattern:        j.pattern,
 		Options:        j.optSpec,
+		Mode:           mode,
 		Cached:         j.cached,
 		Result:         j.result,
 		Error:          j.errMsg,
@@ -175,6 +207,28 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 	}
 	if !validPriority(spec.Priority) {
 		return nil, badRequest(fmt.Sprintf("unknown priority %q (want low, normal, or high)", spec.Priority))
+	}
+	count := false
+	cliqueS := 0
+	switch spec.Mode {
+	case "", ModeDetect:
+	case ModeCount:
+		var ok bool
+		cliqueS, ok = kernel.CliqueSize(h)
+		if !ok {
+			return nil, badRequest(fmt.Sprintf(
+				"pattern %q is not kernel-countable: count mode serves clique-family patterns only (triangle, cycle:3, clique:2..%d)",
+				spec.Pattern, kernel.MaxCliqueSize))
+		}
+		if spec.Trace {
+			return nil, badRequest("count jobs run the local kernel and produce no engine trace; submit in detect mode to trace")
+		}
+		if spec.Options.Faults != nil || spec.Options.Resilient {
+			return nil, badRequest("count jobs run the local kernel; fault injection and resilience apply to simulations only")
+		}
+		count = true
+	default:
+		return nil, badRequest(fmt.Sprintf("unknown mode %q (want \"detect\" or \"count\")", spec.Mode))
 	}
 	// Server-side deadline cap: every job runs under the engine's
 	// wall-clock deadline machinery.
@@ -215,6 +269,13 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 	keySpec := effective
 	keySpec.DeadlineMs = 0
 	key := digest + "|" + h.Digest() + "|" + keySpec.Canonical()
+	if count {
+		// A count is a pure function of (graph, clique size): seeds, reps
+		// and engine selection never change it, so the key drops the
+		// options entirely — requests differing only there share one entry
+		// (and coalesce onto one in-flight kernel pass).
+		key = digest + "|" + h.Digest() + "|" + ModeCount
+	}
 	return &job{
 		digest:   digest,
 		pattern:  spec.Pattern,
@@ -225,6 +286,8 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 		key:      key,
 		trace:    spec.Trace,
 		priority: spec.Priority,
+		count:    count,
+		cliqueS:  cliqueS,
 		state:    StateQueued,
 		finished: make(chan struct{}),
 	}, nil

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+// countEdgeList renders a seeded graph with known clique counts for the
+// kernel-backend tests.
+func countEdgeList(t *testing.T, seed int64) (string, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _ := graph.PlantClique(graph.GNP(60, 0.08, rng), 4, rng)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), g
+}
+
+// TestCountJobRoutesToKernel pins the acceptance criterion: an eligible
+// counting job on the cache-miss path is answered by the kernel backend
+// (engine selection), with the exact count, the standard Stats envelope,
+// zero simulation rounds, and a kernel_run span in its /debug timeline —
+// while an identical detect-mode job still runs the CONGEST engine.
+func TestCountJobRoutesToKernel(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	text, g := countEdgeList(t, 3)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submit, status, err := c.SubmitJob(JobSpec{Graph: up.Digest, Pattern: "clique:4", Mode: ModeCount})
+	if err != nil || status >= 300 {
+		t.Fatalf("submit: status %d err %v", status, err)
+	}
+	if submit.Mode != ModeCount {
+		t.Fatalf("submitted view mode %q, want %q", submit.Mode, ModeCount)
+	}
+	view, err := c.WaitJob(submit.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := view.Result
+	if res == nil || view.State != StateDone {
+		t.Fatalf("job not done: %+v", view)
+	}
+	if res.Algorithm != "kernel-bitset-dense" {
+		t.Fatalf("algorithm %q, want kernel-bitset-dense (engine selection)", res.Algorithm)
+	}
+	want := g.CountCliques(4)
+	if res.Count == nil || *res.Count != want {
+		t.Fatalf("count = %v, want %d", res.Count, want)
+	}
+	if res.Detected != (want > 0) {
+		t.Fatalf("detected = %v with %d copies", res.Detected, want)
+	}
+	if res.Rounds != 0 || res.BandwidthBits != 0 {
+		t.Fatalf("kernel job reports simulation rounds=%d bits=%d", res.Rounds, res.BandwidthBits)
+	}
+	// Stats envelope: present and byte-identical to the zero Stats a
+	// library caller would marshal — same shape as detect results.
+	wantStats, _ := json.Marshal(subgraph.Stats{})
+	if !bytes.Equal(res.Stats, wantStats) {
+		t.Fatalf("stats envelope %s, want %s", res.Stats, wantStats)
+	}
+
+	// Kernel runs are visible as spans in the /debug/jobs timeline.
+	tl, err := c.DebugJob(submit.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := tl.SpanByName("kernel_run")
+	if kr == nil {
+		t.Fatalf("no kernel_run span in timeline: %+v", tl.Spans)
+	}
+	if eng, _ := kr.Annotation("engine"); eng != "kernel-bitset-dense" {
+		t.Fatalf("kernel_run engine annotation %q", eng)
+	}
+	if tl.SpanByName("bitset_build") == nil {
+		t.Fatal("no bitset_build span in timeline")
+	}
+
+	// A detect-mode job on the same graph+pattern still runs a CONGEST
+	// engine and does not share the count job's cache entry.
+	dview, status, err := c.SubmitJob(JobSpec{Graph: up.Digest, Pattern: "clique:4"})
+	if err != nil || status >= 300 {
+		t.Fatalf("detect submit: status %d err %v", status, err)
+	}
+	dview, err = c.WaitJob(dview.ID, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dview.Cached {
+		t.Fatal("detect job was answered from the count job's cache entry")
+	}
+	if dview.Result == nil || dview.Result.Algorithm == "kernel-bitset-dense" {
+		t.Fatalf("detect job ran %+v, want a CONGEST engine", dview.Result)
+	}
+	if dview.Result.Detected != res.Detected {
+		t.Fatalf("engines disagree: kernel %v, congest %v", res.Detected, dview.Result.Detected)
+	}
+
+	// Resubmitting the count spec hits the cache, even with different
+	// irrelevant options (the count key strips them).
+	cview, status, err := c.SubmitJob(JobSpec{
+		Graph: up.Digest, Pattern: "clique:4", Mode: ModeCount,
+		Options: subgraph.OptionsSpec{Seed: 99, Reps: 3},
+	})
+	if err != nil || status >= 300 {
+		t.Fatalf("resubmit: status %d err %v", status, err)
+	}
+	if !cview.Cached {
+		t.Fatal("count resubmission missed the cache")
+	}
+	if cview.Result.Count == nil || *cview.Result.Count != want {
+		t.Fatalf("cached count %v, want %d", cview.Result.Count, want)
+	}
+}
+
+// TestCountJobsBatchIntoOnePass pins digest-level batching: with one
+// worker held, several count jobs on one graph coalesce into a single
+// kernel pass, and every job still completes with its own exact answer.
+func TestCountJobsBatchIntoOnePass(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+	s.holdJobs = make(chan struct{})
+	text, g := countEdgeList(t, 5)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	patterns := []string{"triangle", "clique:4", "clique:5"}
+	ids := make([]string, len(patterns))
+	for i, p := range patterns {
+		v, status, err := c.SubmitJob(JobSpec{Graph: up.Digest, Pattern: p, Mode: ModeCount})
+		if err != nil || status >= 300 {
+			t.Fatalf("submit %s: status %d err %v", p, status, err)
+		}
+		ids[i] = v.ID
+	}
+	// The held worker has claimed the first job; release it once — the
+	// single pass must answer all three.
+	s.holdJobs <- struct{}{}
+	for i, id := range ids {
+		v, err := c.WaitJob(id, 10*time.Second)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		sizes := []int{3, 4, 5}
+		want := g.CountCliques(sizes[i])
+		if v.Result == nil || v.Result.Count == nil || *v.Result.Count != want {
+			t.Fatalf("job %s (%s): result %+v, want count %d", id, patterns[i], v.Result, want)
+		}
+	}
+	close(s.holdJobs)
+
+	if runs := counter(t, c, MetricKernelRuns); runs != 1 {
+		t.Fatalf("kernel passes = %d, want 1 (batching)", runs)
+	}
+	if jobs := counter(t, c, MetricKernelJobs); jobs != 3 {
+		t.Fatalf("kernel jobs = %d, want 3", jobs)
+	}
+	if batched := counter(t, c, MetricJobsBatched); batched != 2 {
+		t.Fatalf("batched riders = %d, want 2", batched)
+	}
+	// Every batched job's timeline carries its own kernel_run span.
+	for _, id := range ids {
+		tl, err := c.DebugJob(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.SpanByName("kernel_run") == nil {
+			t.Fatalf("job %s timeline missing kernel_run span", id)
+		}
+	}
+}
+
+// TestCountJobsBypassShedding pins the PR 6 follow-up: at critical SLO
+// level a normal-priority detect job is shed while a count job is
+// admitted and batch-coalesced instead.
+func TestCountJobsBypassShedding(t *testing.T) {
+	s, c := newTestServer(t, Config{
+		Workers: 1,
+		SLO:     SLOConfig{LatencyBudget: time.Millisecond},
+	})
+	text, _ := countEdgeList(t, 7)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.slo.level.Store(sloCritical)
+
+	resp := rawSubmit(t, c.Base, JobSpec{Graph: up.Digest, Pattern: "triangle"})
+	if resp.StatusCode != 429 {
+		t.Fatalf("detect job under critical SLO: status %d, want 429 (shed)", resp.StatusCode)
+	}
+	v, status, err := c.SubmitJob(JobSpec{Graph: up.Digest, Pattern: "triangle", Mode: ModeCount})
+	if err != nil || status >= 300 {
+		t.Fatalf("count job under critical SLO: status %d err %v (want admission)", status, err)
+	}
+	if _, err := c.WaitJob(v.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := counter(t, c, MetricJobsPressureBatched); n != 1 {
+		t.Fatalf("pressure-batched counter = %d, want 1", n)
+	}
+}
+
+// TestCountModeValidation pins the 400 paths: non-clique patterns,
+// traces, and fault plans are rejected up front.
+func TestCountModeValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	text, _ := countEdgeList(t, 9)
+	up, err := c.UploadGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []JobSpec{
+		{Graph: up.Digest, Pattern: "cycle:4", Mode: ModeCount},
+		{Graph: up.Digest, Pattern: "path:3", Mode: ModeCount},
+		{Graph: up.Digest, Pattern: "clique:9", Mode: ModeCount},
+		{Graph: up.Digest, Pattern: "triangle", Mode: ModeCount, Trace: true},
+		{Graph: up.Digest, Pattern: "triangle", Mode: ModeCount,
+			Options: subgraph.OptionsSpec{Faults: &subgraph.FaultSpec{DropRate: 0.1}}},
+		{Graph: up.Digest, Pattern: "triangle", Mode: ModeCount,
+			Options: subgraph.OptionsSpec{Resilient: true}},
+		{Graph: up.Digest, Pattern: "triangle", Mode: "recount"},
+	}
+	for i, spec := range cases {
+		if resp := rawSubmit(t, c.Base, spec); resp.StatusCode != 400 {
+			t.Fatalf("case %d (%+v): status %d, want 400", i, spec, resp.StatusCode)
+		}
+	}
+	// "detect" spelled out stays valid.
+	if resp := rawSubmit(t, c.Base, JobSpec{Graph: up.Digest, Pattern: "triangle", Mode: ModeDetect}); resp.StatusCode != 202 {
+		t.Fatalf("explicit detect mode: status %d, want 202", resp.StatusCode)
+	}
+}

@@ -36,10 +36,32 @@ type LoadGenConfig struct {
 	// LowPriorityFraction is the probability a job is submitted at low
 	// priority — the first tier the SLO guard sheds under pressure.
 	LowPriorityFraction float64
+	// CountFraction is the probability a fresh job is submitted in count
+	// mode — a clique-family pattern routed to the local kernel backend
+	// instead of the CONGEST simulation. Zero draws nothing from the rng,
+	// so old seeds replay bit-identical mixes.
+	CountFraction float64
+	// Warmup is the number of unmeasured jobs (replaying the measured
+	// mix) run before the metrics snapshot, so measured sections observe
+	// steady-state cache behavior instead of cold-start misses. Zero
+	// keeps the historical cold-cache behavior.
+	Warmup int
 	// Retry overrides the client's retry policy (nil = defaults).
 	Retry *RetryPolicy
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+}
+
+// Workload renders the canonical mix descriptor recorded in results and
+// baseline files. cmd/benchreport warns when diffing two reports whose
+// descriptors differ — the BENCH_PR7 lesson: a run measured under chaos
+// with a cold cache is not comparable to a clean warmed run, and the
+// files have to say so.
+func (c LoadGenConfig) Workload() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("jobs=%d conc=%d graphs=%dx%d repeat=%.2f low=%.2f count=%.2f warmup=%d seed=%d",
+		c.Jobs, c.Concurrency, c.Graphs, c.GraphN, c.RepeatFraction,
+		c.LowPriorityFraction, c.CountFraction, c.Warmup, c.Seed)
 }
 
 func (c LoadGenConfig) withDefaults() LoadGenConfig {
@@ -63,6 +85,9 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 
 // LoadGenResult aggregates a load run.
 type LoadGenResult struct {
+	// Workload echoes LoadGenConfig.Workload() — the mix descriptor that
+	// gates baseline comparability in cmd/benchreport.
+	Workload    string  `json:"workload"`
 	Jobs        int     `json:"jobs"`
 	Errors      int     `json:"errors"`
 	Retried429  int     `json:"retried_429"`
@@ -115,6 +140,15 @@ type LoadGenResult struct {
 	// result cache (the no-engine fast path).
 	CacheHitP50Ns int64 `json:"cache_hit_p50_ns"`
 	CacheHitP99Ns int64 `json:"cache_hit_p99_ns"`
+
+	// Kernel-backend columns (PR 8): how count-mode jobs fared on the
+	// word-parallel local backend.
+	KernelRuns      int64 `json:"kernel_runs"`
+	KernelJobs      int64 `json:"kernel_jobs"`
+	JobsBatched     int64 `json:"jobs_batched"`
+	PressureBatched int64 `json:"pressure_batched"`
+	KernelRunP50Ns  int64 `json:"kernel_run_p50_ns"`
+	KernelRunP99Ns  int64 `json:"kernel_run_p99_ns"`
 }
 
 // benchReport mirrors cmd/benchreport's JSON document so loadgen baselines
@@ -126,6 +160,7 @@ type benchReport struct {
 	GOARCH     string           `json:"goarch"`
 	Package    string           `json:"package"`
 	Benchtime  string           `json:"benchtime"`
+	Workload   string           `json:"workload,omitempty"`
 	Benchmarks []benchReportRow `json:"benchmarks"`
 }
 
@@ -151,6 +186,7 @@ func (r *LoadGenResult) BenchReport() any {
 		GOARCH:    runtime.GOARCH,
 		Package:   "loadgen://subgraphd",
 		Benchtime: fmt.Sprintf("%d jobs", r.Jobs),
+		Workload:  r.Workload,
 		Benchmarks: []benchReportRow{
 			{Name: "ServeJobLatencyP50", NsPerOp: float64(r.P50Ns)},
 			{Name: "ServeJobLatencyP90", NsPerOp: float64(r.P90Ns)},
@@ -171,6 +207,11 @@ func (r *LoadGenResult) BenchReport() any {
 			{Name: "ServeEngineRunP99", NsPerOp: float64(r.EngineP99Ns)},
 			{Name: "ServeCacheHitPathP50", NsPerOp: float64(r.CacheHitP50Ns)},
 			{Name: "ServeCacheHitPathP99", NsPerOp: float64(r.CacheHitP99Ns)},
+			{Name: "ServeKernelRunsTotal", NsPerOp: float64(r.KernelRuns)},
+			{Name: "ServeKernelJobsTotal", NsPerOp: float64(r.KernelJobs)},
+			{Name: "ServeJobsBatchedTotal", NsPerOp: float64(r.JobsBatched)},
+			{Name: "ServeKernelRunP50", NsPerOp: float64(r.KernelRunP50Ns)},
+			{Name: "ServeKernelRunP99", NsPerOp: float64(r.KernelRunP99Ns)},
 		},
 	}
 }
@@ -184,7 +225,7 @@ func fillBreakdown(res *LoadGenResult, c *Client, logf func(string, ...any)) {
 		logf("breakdown skipped: %v", err)
 		return
 	}
-	var qwait, engine, cachehit []int64
+	var qwait, engine, cachehit, kern []int64
 	for _, tl := range dj.Timelines {
 		if tl.Outcome != StateDone {
 			continue
@@ -205,6 +246,9 @@ func fillBreakdown(res *LoadGenResult, c *Client, logf func(string, ...any)) {
 				engine = append(engine, tl.Spans[i].DurationNs())
 			}
 		}
+		for _, sp := range tl.SpansByName("kernel_run") {
+			kern = append(kern, sp.DurationNs())
+		}
 	}
 	pcts := func(xs []int64) (p50, p99 int64) {
 		if len(xs) == 0 {
@@ -216,6 +260,7 @@ func fillBreakdown(res *LoadGenResult, c *Client, logf func(string, ...any)) {
 	res.QueueWaitP50Ns, res.QueueWaitP99Ns = pcts(qwait)
 	res.EngineP50Ns, res.EngineP99Ns = pcts(engine)
 	res.CacheHitP50Ns, res.CacheHitP99Ns = pcts(cachehit)
+	res.KernelRunP50Ns, res.KernelRunP99Ns = pcts(kern)
 	logf("breakdown over %d recorded timelines: queue-wait p50 %v / p99 %v, engine p50 %v / p99 %v, cache-hit path p50 %v / p99 %v",
 		res.BreakdownTimelines,
 		time.Duration(res.QueueWaitP50Ns).Round(time.Microsecond),
@@ -272,6 +317,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	logf("uploaded %d graphs (n=%d each)", len(digests), cfg.GraphN)
 
 	patterns := []string{"triangle", "cycle:4", "clique:4", "path:4", "star:3"}
+	countPatterns := []string{"triangle", "clique:4", "clique:5"}
 	specs := make([]JobSpec, cfg.Jobs)
 	for i := range specs {
 		if i > 0 && rng.Float64() < cfg.RepeatFraction {
@@ -286,6 +332,42 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 		if rng.Float64() < cfg.LowPriorityFraction {
 			specs[i].Priority = PriorityLow
 		}
+		// Short-circuit keeps the rng stream untouched at CountFraction 0,
+		// so historical seeds still replay their exact mixes.
+		if cfg.CountFraction > 0 && rng.Float64() < cfg.CountFraction {
+			specs[i].Pattern = countPatterns[rng.Intn(len(countPatterns))]
+			specs[i].Mode = ModeCount
+		}
+	}
+
+	// Unmeasured warm-up: replay the measured mix so the result cache and
+	// kernel scratch reach steady state before the metrics snapshot. A
+	// dedicated client keeps warm-up retries out of the measured stats.
+	if cfg.Warmup > 0 {
+		wc := &Client{Base: cfg.BaseURL, HTTPClient: c.HTTPClient, Retry: cfg.Retry}
+		var wwg sync.WaitGroup
+		wnext := make(chan int)
+		for w := 0; w < cfg.Concurrency; w++ {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				for i := range wnext {
+					jv, status, err := wc.SubmitJob(specs[i%len(specs)])
+					if err != nil || (status != http.StatusOK && status != http.StatusAccepted) {
+						continue
+					}
+					if jv.State != StateDone && jv.State != StateFailed {
+						_, _ = wc.WaitJob(jv.ID, 60*time.Second)
+					}
+				}
+			}()
+		}
+		for i := 0; i < cfg.Warmup; i++ {
+			wnext <- i
+		}
+		close(wnext)
+		wwg.Wait()
+		logf("warm-up: replayed %d unmeasured jobs", cfg.Warmup)
 	}
 
 	before, err := c.Metrics()
@@ -357,6 +439,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
 	cs := c.Stats.View()
 	res := &LoadGenResult{
+		Workload:        cfg.Workload(),
 		Jobs:            len(ok),
 		Errors:          int(errs),
 		Retried429:      int(cs.Exhausted429),
@@ -392,6 +475,10 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	res.Chaos429 = delta(MetricChaos429)
 	res.Chaos503 = delta(MetricChaos503)
 	res.ChaosDelays = delta(MetricChaosDelay)
+	res.KernelRuns = delta(MetricKernelRuns)
+	res.KernelJobs = delta(MetricKernelJobs)
+	res.JobsBatched = delta(MetricJobsBatched)
+	res.PressureBatched = delta(MetricJobsPressureBatched)
 	fillBreakdown(res, c, logf)
 	logf("replayed %d jobs in %v: %.1f jobs/s, p50 %v, p99 %v, cache hit rate %.1f%%, %d shed, %d retries (%.1f%% recovered), %d errors",
 		res.Jobs, wall.Round(time.Millisecond), res.JobsPerSec,

@@ -35,32 +35,38 @@ import (
 
 	"subgraph"
 	"subgraph/internal/graph"
+	"subgraph/internal/kernel"
 	"subgraph/internal/obs"
 )
 
 // Metric names exported through the server's obs.Registry (the /metrics
 // endpoint serves a snapshot).
 const (
-	MetricJobsSubmitted  = "serve_jobs_submitted_total"
-	MetricJobsCompleted  = "serve_jobs_completed_total"
-	MetricJobsFailed     = "serve_jobs_failed_total"
-	MetricJobsRejected   = "serve_jobs_rejected_total"  // 429: queue full
-	MetricJobsShed       = "serve_jobs_shed_total"      // 429: SLO load shedding
-	MetricJobsCoalesced  = "serve_jobs_coalesced_total" // identical in-flight spec reused
-	MetricJobsDraining   = "serve_jobs_draining_total"  // 503: draining
-	MetricCacheHits      = "serve_cache_hits_total"
-	MetricCacheMisses    = "serve_cache_misses_total"
-	MetricDetectRuns     = "serve_detect_runs_total" // engine executions (≠ hits)
-	MetricGraphUploads   = "serve_graphs_uploaded_total"
-	MetricGraphDedups    = "serve_graphs_deduped_total"
-	GaugeQueueDepth      = "serve_queue_depth"
-	GaugeSLODegraded     = "serve_slo_degraded"          // 0 healthy / 1 degraded / 2 critical
-	GaugeSLOLatencyP99   = "serve_slo_p99_latency_ns"    // rolling-window p99 job wall
-	GaugeSLOQueueWaitP99 = "serve_slo_p99_queue_wait_ns" // rolling-window p99 queue wait
-	HistJobWallNs        = "serve_job_wall_ns"
-	HistQueueWaitNs      = "serve_queue_wait_ns"
-	HistEngineRunNs      = "serve_engine_run_ns" // engine execution wall (cache misses)
-	HistCacheHitNs       = "serve_cache_hit_ns"  // end-to-end latency of cache-hit answers
+	MetricJobsSubmitted       = "serve_jobs_submitted_total"
+	MetricJobsCompleted       = "serve_jobs_completed_total"
+	MetricJobsFailed          = "serve_jobs_failed_total"
+	MetricJobsRejected        = "serve_jobs_rejected_total"         // 429: queue full
+	MetricJobsShed            = "serve_jobs_shed_total"             // 429: SLO load shedding
+	MetricJobsCoalesced       = "serve_jobs_coalesced_total"        // identical in-flight spec reused
+	MetricJobsDraining        = "serve_jobs_draining_total"         // 503: draining
+	MetricJobsBatched         = "serve_jobs_batched_total"          // count jobs that rode another job's kernel pass
+	MetricJobsPressureBatched = "serve_jobs_pressure_batched_total" // count jobs admitted (not shed) under SLO pressure
+	MetricKernelRuns          = "serve_kernel_runs_total"           // kernel batch passes (≠ jobs served)
+	MetricKernelJobs          = "serve_kernel_jobs_total"           // jobs answered by the kernel backend
+	MetricCacheHits           = "serve_cache_hits_total"
+	MetricCacheMisses         = "serve_cache_misses_total"
+	MetricDetectRuns          = "serve_detect_runs_total" // engine executions (≠ hits)
+	MetricGraphUploads        = "serve_graphs_uploaded_total"
+	MetricGraphDedups         = "serve_graphs_deduped_total"
+	GaugeQueueDepth           = "serve_queue_depth"
+	GaugeSLODegraded          = "serve_slo_degraded"          // 0 healthy / 1 degraded / 2 critical
+	GaugeSLOLatencyP99        = "serve_slo_p99_latency_ns"    // rolling-window p99 job wall
+	GaugeSLOQueueWaitP99      = "serve_slo_p99_queue_wait_ns" // rolling-window p99 queue wait
+	HistJobWallNs             = "serve_job_wall_ns"
+	HistQueueWaitNs           = "serve_queue_wait_ns"
+	HistEngineRunNs           = "serve_engine_run_ns" // engine execution wall (cache misses)
+	HistCacheHitNs            = "serve_cache_hit_ns"  // end-to-end latency of cache-hit answers
+	HistKernelRunNs           = "serve_kernel_run_ns" // kernel batch pass wall (build + counts)
 
 	// Scrape-time server gauges, refreshed on every /metrics render so the
 	// Prometheus page carries the operational state the JSON view reports
@@ -117,10 +123,16 @@ type Config struct {
 	// SLO configures the p99-driven load shedder (see slo.go). The zero
 	// value disables shedding.
 	SLO SLOConfig
-	// OnJobDone, when non-nil, is called once per job that completes with
-	// a full (non-partial, non-cached) result — the canary-replay tap.
-	// Called from a worker goroutine after the job is observable as done;
-	// implementations must not block.
+	// KernelWorkers sizes the word-parallel kernel pool answering
+	// count-mode jobs (default: GOMAXPROCS capped at 8 — the kernel
+	// package's own default).
+	KernelWorkers int
+	// OnJobDone, when non-nil, is called once per detect-mode job that
+	// completes with a full (non-partial, non-cached) result — the
+	// canary-replay tap. Count-mode jobs are not tapped: the canary
+	// replays CONGEST executions, and kernel answers are pinned by the
+	// diffcheck kernel oracles instead. Called from a worker goroutine
+	// after the job is observable as done; implementations must not block.
 	OnJobDone func(JobDone)
 	// FlightRecorderSize bounds the debug flight recorder: the last N
 	// completed job timelines retrievable from GET /debug/jobs (default
@@ -204,8 +216,10 @@ type Server struct {
 	start  time.Time
 	flight *obs.FlightRecorder // nil when disabled
 	logger *slog.Logger
+	kernel *kernel.Kernel // word-parallel backend for count-mode jobs
 
-	slo *sloGuard
+	slo   *sloGuard
+	batch *batcher // count-job batching index (guarded by mu)
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -236,6 +250,8 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]string),
 		queue:    make(chan *job, cfg.QueueDepth),
+		kernel:   kernel.New(cfg.KernelWorkers),
+		batch:    newBatcher(),
 	}
 	if cfg.FlightRecorderSize > 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize)
@@ -245,8 +261,10 @@ func New(cfg Config) *Server {
 	for _, name := range []string{
 		MetricJobsSubmitted, MetricJobsCompleted, MetricJobsFailed,
 		MetricJobsRejected, MetricJobsShed, MetricJobsCoalesced,
-		MetricJobsDraining, MetricCacheHits, MetricCacheMisses,
-		MetricDetectRuns, MetricGraphUploads, MetricGraphDedups,
+		MetricJobsDraining, MetricJobsBatched, MetricJobsPressureBatched,
+		MetricCacheHits, MetricCacheMisses, MetricDetectRuns,
+		MetricKernelRuns, MetricKernelJobs,
+		MetricGraphUploads, MetricGraphDedups,
 	} {
 		s.reg.Counter(name)
 	}
@@ -261,6 +279,7 @@ func New(cfg Config) *Server {
 	s.reg.Histogram(HistQueueWaitNs, JobWallBuckets)
 	s.reg.Histogram(HistEngineRunNs, JobWallBuckets)
 	s.reg.Histogram(HistCacheHitNs, JobWallBuckets)
+	s.reg.Histogram(HistKernelRunNs, JobWallBuckets)
 	s.slo = newSLOGuard(cfg.SLO, s.reg, 10)
 	s.slo.logger = s.logger
 	return s
@@ -276,6 +295,12 @@ func (s *Server) Start() {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
+				if j.count && !s.batchTryClaim(j) {
+					// An earlier kernel pass batched this job and already
+					// answered it; its queue-wait was observed there.
+					s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
+					continue
+				}
 				wait := time.Since(j.enqueuedAt)
 				j.queueSpan.Finish()
 				s.reg.Histogram(HistQueueWaitNs, JobWallBuckets).
@@ -284,7 +309,11 @@ func (s *Server) Start() {
 				if s.holdJobs != nil {
 					<-s.holdJobs
 				}
-				s.runJob(j)
+				if j.count {
+					s.runKernelBatch(j)
+				} else {
+					s.runJob(j)
+				}
 				s.reg.Gauge(GaugeQueueDepth).Set(float64(len(s.queue)))
 			}
 		}()
@@ -325,6 +354,8 @@ func (s *Server) Drain(ctx context.Context) (completed int64, err error) {
 	}()
 	select {
 	case <-done:
+		// Workers are gone; the kernel pool can park permanently too.
+		s.kernel.Close()
 		completed = s.reg.Counter(MetricJobsCompleted).Value()
 		s.logger.Info("drain complete", "jobs_completed", completed)
 		return completed, nil

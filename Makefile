@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare bench-kernels diffcheck experiments experiments-quick examples serve smoke loadgen-report chaos-report chaos-trace-report canary-smoke trace-demo clean
+.PHONY: all build test race bench bench-report bench-compare bench-kernels diffcheck experiments experiments-quick examples serve smoke cluster-smoke loadgen-report loadgen-cluster-report chaos-report chaos-trace-report canary-smoke trace-demo clean
 
 all: build test
 
@@ -57,6 +57,12 @@ serve:
 smoke:
 	./scripts/smoke_subgraphd.sh
 
+# End-to-end cluster smoke: router + 2 workers, selfcheck through the
+# router, loadgen burst with one worker SIGKILLed mid-run, clean drains.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster
+	./scripts/smoke_cluster.sh
+
 # Re-measure the committed serving baseline (in-process server; run on a
 # quiet machine). All loadgen baselines share -jobs 400 -seed 1 and a
 # 100-job warm-up so their cache/shed sections stay comparable; the mix
@@ -65,6 +71,15 @@ smoke:
 loadgen-report:
 	$(GO) run ./cmd/subgraphd -loadgen -jobs 400 -seed 1 -warmup 100 \
 		-out BENCH_PR4.json
+
+# Re-measure the committed cluster serving baseline: the same seeded mix
+# as loadgen-report, driven through an in-process router fronting three
+# workers with replication 2 (compare against BENCH_PR4.json; the
+# workload descriptor records nodes= and repl= so benchreport warns on
+# cross-topology diffs).
+loadgen-cluster-report:
+	$(GO) run ./cmd/subgraphd -loadgen -cluster 3 -replication 2 \
+		-jobs 400 -seed 1 -warmup 100 -out BENCH_PR9.json
 
 # Re-measure the committed robustness baseline: seeded chaos injection,
 # SLO load shedding, full-fraction canary (see README "Robustness").

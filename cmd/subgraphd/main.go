@@ -6,12 +6,15 @@
 // Modes:
 //
 //	subgraphd -listen :8080                        # serve until SIGTERM
+//	subgraphd -router -members http://w1,http://w2 # cluster router over a worker fleet
 //	subgraphd -loadgen -jobs 500 -out BENCH.json   # load-test (in-process server)
-//	subgraphd -loadgen -target http://host:8080    # load-test a remote daemon
+//	subgraphd -loadgen -cluster 3                  # load-test an in-process router + 3 workers
+//	subgraphd -loadgen -target http://host:8080    # load-test a remote daemon or router
 //	subgraphd -selfcheck http://host:8080          # end-to-end cross-check
 //
 // On SIGTERM/SIGINT the daemon stops admitting jobs (503), finishes the
-// queued and in-flight ones, prints a drain summary, and exits 0.
+// queued and in-flight ones, prints a drain summary, and exits 0. A
+// router drains by resolving every admitted job against its workers.
 package main
 
 import (
@@ -24,10 +27,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"subgraph/internal/canary"
+	"subgraph/internal/cluster"
 	"subgraph/internal/obs"
 	"subgraph/internal/serve"
 )
@@ -47,6 +52,12 @@ func run() int {
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock deadline cap")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
 
+		router      = flag.Bool("router", false, "router mode: front a static worker fleet with digest routing, a shared result cache, and cluster admission control (requires -members)")
+		members     = flag.String("members", "", "router: comma-separated worker base URLs (falls back to env SUBGRAPHD_MEMBERS)")
+		replication = flag.Int("replication", 2, "router/cluster loadgen: how many workers own each graph digest")
+		nodeName    = flag.String("node-name", "", "node name reported by /healthz and as the node= label on /metrics?format=prom")
+		maxInflight = flag.Int("max-inflight", 256, "router: cluster-wide in-flight job bound (429 beyond it)")
+
 		canaryFrac = flag.Float64("canary", 0, "fraction of completed jobs asynchronously re-checked through a second engine (+ ground truth on small instances); 0 disables")
 		canaryDir  = flag.String("canary-artifacts", ".", "directory for shrunk canary divergence artifacts (replayable with cmd/diffcheck -replay)")
 		sloP99     = flag.Duration("slo-p99", 0, "p99 job-latency budget; breaching it sheds low-priority jobs with 429 + Retry-After (0 disables the SLO guard)")
@@ -54,6 +65,7 @@ func run() int {
 		sloWindow  = flag.Duration("slo-window", 30*time.Second, "rolling window the SLO percentiles are computed over")
 
 		loadgen     = flag.Bool("loadgen", false, "load-generator mode: replay a seeded job mix and report latency percentiles")
+		clusterN    = flag.Int("cluster", 0, "loadgen: boot an in-process router + N workers and load-test through the router")
 		target      = flag.String("target", "", "loadgen: base URL of a running daemon (default: in-process server)")
 		jobs        = flag.Int("jobs", 200, "loadgen: jobs to replay")
 		concurrency = flag.Int("concurrency", 8, "loadgen: client workers")
@@ -111,6 +123,7 @@ func run() int {
 		},
 		FlightRecorderSize: flight,
 		Logger:             logger,
+		NodeName:           *nodeName,
 	}
 
 	// The canary shares the server's registry and taps completed jobs via
@@ -132,6 +145,36 @@ func run() int {
 	}
 
 	switch {
+	case *router:
+		if *loadgen || *selfcheck != "" {
+			logger.Error("-router is a serving mode; drop -loadgen / -selfcheck")
+			return 2
+		}
+		memberList := splitMembers(*members)
+		if len(memberList) == 0 {
+			memberList = splitMembers(os.Getenv("SUBGRAPHD_MEMBERS"))
+		}
+		if len(memberList) == 0 {
+			logger.Error("router mode needs workers: set -members or SUBGRAPHD_MEMBERS")
+			return 2
+		}
+		return runRouter(logger, cluster.Config{
+			Members:     memberList,
+			Replication: *replication,
+			NodeName:    *nodeName,
+			MaxInflight: *maxInflight,
+			CacheSize:   effCache,
+			MaxGraphs:   *maxGraphs,
+			Registry:    reg,
+			SLO: serve.SLOConfig{
+				LatencyBudget:   *sloP99,
+				QueueWaitBudget: *sloQWait,
+				Window:          *sloWindow,
+			},
+			FlightRecorderSize: *flightSize,
+			Logger:             logger,
+		}, *listen, *portFile, *drainTimeout)
+
 	case *selfcheck != "":
 		err := serve.SelfCheck(*selfcheck, serve.SelfCheckOptions{
 			Saturate: *saturate,
@@ -145,6 +188,10 @@ func run() int {
 		return 0
 
 	case *loadgen:
+		if *clusterN > 0 && (*target != "" || *chaos || *canaryFrac > 0) {
+			logger.Error("-cluster boots its own in-process topology; drop -target / -chaos / -canary")
+			return 2
+		}
 		var chaosCfg *serve.ChaosConfig
 		if *chaos {
 			if *target != "" {
@@ -170,7 +217,7 @@ func run() int {
 			CountFraction:       *countFrac,
 			Warmup:              *warmup,
 			Logf:                logf,
-		}, *out, chaosCfg, cn, *traceDemo)
+		}, *out, chaosCfg, cn, *traceDemo, *clusterN, *replication)
 
 	default:
 		return runServe(logger, cfg, *listen, *portFile, *drainTimeout, cn)
@@ -195,6 +242,73 @@ func drainCanary(logger *slog.Logger, cn *canary.Canary, reg *obs.Registry) (div
 		logger.Info("canary clean", "checked", checked, "divergences", 0)
 	}
 	return divergences
+}
+
+// splitMembers parses a comma-separated member list, trimming whitespace
+// and dropping empty entries ("a, b,," -> ["a","b"]).
+func splitMembers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if m := strings.TrimSpace(part); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runRouter fronts a static worker fleet until SIGTERM/SIGINT, then
+// resolves every admitted job against the workers and exits. It mirrors
+// runServe: the listener stays up through the drain so clients can poll
+// jobs they already own.
+func runRouter(logger *slog.Logger, cfg cluster.Config, listen, portFile string, drainTimeout time.Duration) int {
+	rt, err := cluster.New(cfg)
+	if err != nil {
+		logger.Error("router config", "err", err)
+		return 1
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		logger.Error("listen", "addr", listen, "err", err)
+		return 1
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Error("writing portfile", "err", err)
+			return 1
+		}
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Info("routing",
+		"url", "http://"+ln.Addr().String(), "members", len(cfg.Members),
+		"replication", cfg.Replication, "max_inflight", cfg.MaxInflight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		logger.Info("draining on signal (admitted jobs resolve against workers, new submissions get 503)",
+			"signal", sig.String())
+	case err := <-errc:
+		logger.Error("http server", "err", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	derr := rt.Drain(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+	if derr != nil {
+		logger.Error("drain", "err", derr)
+		return 1
+	}
+	logger.Info("drained cleanly")
+	return 0
 }
 
 // runServe serves the API until SIGTERM/SIGINT, then drains and exits.
@@ -254,10 +368,35 @@ func runServe(logger *slog.Logger, cfg serve.Config, listen, portFile string, dr
 // no -target is given (optionally behind chaos fault injection and with a
 // canary tapping completed jobs), and writes the benchreport JSON. A
 // failed drain or any canary divergence fails the run.
-func runLoadGen(logger *slog.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string, chaosCfg *serve.ChaosConfig, cn *canary.Canary, traceDemo bool) int {
+func runLoadGen(logger *slog.Logger, cfg serve.Config, lg serve.LoadGenConfig, out string, chaosCfg *serve.ChaosConfig, cn *canary.Canary, traceDemo bool, clusterN, replication int) int {
 	var srv *serve.Server
 	var hs *http.Server
-	if lg.BaseURL == "" {
+	var cl *cluster.InProcess
+	if lg.BaseURL == "" && clusterN > 0 {
+		if replication > clusterN {
+			replication = clusterN
+		}
+		var err error
+		cl, err = cluster.StartInProcess(clusterN, cfg, cluster.Config{
+			Replication:        replication,
+			CacheSize:          cfg.CacheSize,
+			MaxGraphs:          cfg.MaxGraphs,
+			Registry:           cfg.Registry,
+			SLO:                cfg.SLO,
+			FlightRecorderSize: cfg.FlightRecorderSize,
+			Logger:             logger.With("component", "router"),
+		})
+		if err != nil {
+			logger.Error("starting in-process cluster", "err", err)
+			return 1
+		}
+		lg.BaseURL = cl.BaseURL
+		lg.Nodes = clusterN
+		lg.Replication = replication
+		logger.Info("loadgen against in-process cluster",
+			"url", lg.BaseURL, "nodes", clusterN, "replication", replication,
+			"workers_per_node", cfg.Workers)
+	} else if lg.BaseURL == "" {
 		srv = serve.New(cfg)
 		srv.Start()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -293,6 +432,12 @@ func runLoadGen(logger *slog.Logger, cfg serve.Config, lg serve.LoadGenConfig, o
 
 	// Drain before judging the run: a drain failure is a real failure
 	// (jobs were lost or hung), not shutdown noise to swallow.
+	if cl != nil {
+		if derr := cl.Close(30 * time.Second); derr != nil {
+			logger.Error("cluster drain after loadgen", "err", derr)
+			return 1
+		}
+	}
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		_, derr := srv.Drain(ctx)

@@ -1,0 +1,79 @@
+// Package cluster scales subgraphd past one process: a router that
+// consistent-hashes jobs on their graph digest across a fleet of worker
+// subgraphd nodes, replicates hot graphs N ways, holds the cluster's
+// shared result cache, applies cluster-wide admission control, and
+// re-dispatches jobs off crashed workers.
+//
+// The routing scheme is the system-level analogue of the partitioned
+// enumeration in the distributed subgraph-detection literature this repo
+// reproduces: work assignment is a deterministic function of content
+// (the graph digest), so any router — and any test — computes the same
+// owner set with no coordination. The content-addressed store and
+// canonical cache keys from the serve layer are what make this sound:
+// results are location-independent, so a job can run on any replica and
+// a cache hit on any node is a hit everywhere.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Owners ranks members for a digest by rendezvous (highest-random-weight)
+// hashing and returns the top r as the digest's replica set, primary
+// first. Properties the router leans on:
+//
+//   - deterministic across processes (FNV-64a of digest|member), so a
+//     restarted router re-derives the same assignment;
+//   - minimal disruption: removing a member only moves the digests it
+//     owned, never reshuffles the rest (the HRW property that makes a
+//     static member list workable without a rebalancing protocol);
+//   - replica sets are distinct members by construction.
+//
+// r is clamped to [1, len(members)]; an empty member list returns nil.
+func Owners(members []string, digest string, r int) []string {
+	if len(members) == 0 {
+		return nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(members) {
+		r = len(members)
+	}
+	type scored struct {
+		member string
+		score  uint64
+	}
+	ranked := make([]scored, 0, len(members))
+	for _, m := range members {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(digest))
+		_, _ = h.Write([]byte{'|'})
+		_, _ = h.Write([]byte(m))
+		ranked = append(ranked, scored{member: m, score: mix64(h.Sum64())})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].member < ranked[j].member // total order even on hash ties
+	})
+	out := make([]string, r)
+	for i := range out {
+		out[i] = ranked[i].member
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer. FNV alone avalanches its last few
+// input bytes poorly, and the member name is exactly the last few bytes
+// — without this, short member lists with similar names skew badly.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestOwnersDeterministicAndDistinct(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for i := 0; i < 50; i++ {
+		digest := fmt.Sprintf("sha256:%064d", i)
+		o1 := Owners(members, digest, 2)
+		o2 := Owners(members, digest, 2)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("digest %s: owners not deterministic: %v vs %v", digest, o1, o2)
+		}
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("digest %s: replica set not 2 distinct members: %v", digest, o1)
+		}
+	}
+}
+
+func TestOwnersClamps(t *testing.T) {
+	members := []string{"a", "b"}
+	if got := Owners(members, "d", 5); len(got) != 2 {
+		t.Fatalf("r beyond fleet size: got %v", got)
+	}
+	if got := Owners(members, "d", 0); len(got) != 1 {
+		t.Fatalf("r=0 should clamp to 1: got %v", got)
+	}
+	if got := Owners(nil, "d", 2); got != nil {
+		t.Fatalf("empty member list: got %v", got)
+	}
+}
+
+// TestOwnersBalance: rendezvous hashing should spread primaries roughly
+// evenly. With 4 members and 2000 digests a uniform split is 500 each;
+// accept anything within ±40%.
+func TestOwnersBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	primaries := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		o := Owners(members, fmt.Sprintf("sha256:%064x", i*2654435761), 2)
+		primaries[o[0]]++
+	}
+	for _, m := range members {
+		n := primaries[m]
+		if n < 300 || n > 700 {
+			t.Errorf("member %s owns %d/2000 primaries; want roughly 500", m, n)
+		}
+	}
+}
+
+// TestOwnersMinimalDisruption pins the HRW property the static member
+// list depends on: removing one member only reassigns digests it owned.
+func TestOwnersMinimalDisruption(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	without := []string{"http://a:1", "http://b:1", "http://d:1"} // c removed
+	for i := 0; i < 500; i++ {
+		digest := fmt.Sprintf("sha256:%064d", i)
+		before := Owners(full, digest, 1)
+		after := Owners(without, digest, 1)
+		if before[0] != "http://c:1" && before[0] != after[0] {
+			t.Fatalf("digest %s moved from %s to %s though its owner survived",
+				digest, before[0], after[0])
+		}
+	}
+}

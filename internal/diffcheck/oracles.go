@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"subgraph"
+	"subgraph/internal/cluster"
 	"subgraph/internal/congest"
 	"subgraph/internal/graph"
 	"subgraph/internal/kernel"
@@ -275,6 +276,15 @@ func Oracles() []Oracle {
 			Doc:     "draining mid-burst completes every admitted job with the library answer; late submits bounce 503",
 			Applies: always,
 			Check:   checkDrainUnderFire,
+		},
+		{
+			Name: "node-crash-during-drain",
+			Doc:  "a worker crash mid-drain loses nothing: the router finishes every admitted job with the library answer via at most one redispatch each; late submits bounce 503",
+			// Each evaluation boots a dedicated router + two workers, so a
+			// deterministic 1-in-3 subsample (by case seed) keeps the battery
+			// fast while still covering the relation across case shapes.
+			Applies: func(c *Case) bool { return faultFree(c) && c.Seed%3 == 0 },
+			Check:   checkNodeCrashDuringDrain,
 		},
 	}
 }
@@ -712,6 +722,141 @@ func checkDrainUnderFire(_ *Harness, c *Case) error {
 		}
 		if jv.State != serve.StateDone || jv.Result == nil {
 			return fmt.Errorf("admitted job %s ended %s with no result after drain", id, jv.State)
+		}
+		if libErr != nil {
+			return fmt.Errorf("drained job %s succeeded but the library fails: %v", id, libErr)
+		}
+		res := jv.Result
+		if res.Partial {
+			return fmt.Errorf("drained job %s returned a partial result for a case the library completes (%s)", id, res.AbortReason)
+		}
+		if res.Detected != libRep.Detected || res.Algorithm != libRep.Algorithm ||
+			res.Rounds != libRep.Rounds || res.BandwidthBits != libRep.BandwidthBits {
+			return fmt.Errorf("drained job %s (detected=%v alg=%s rounds=%d bw=%d) != library (detected=%v alg=%s rounds=%d bw=%d)",
+				id, res.Detected, res.Algorithm, res.Rounds, res.BandwidthBits,
+				libRep.Detected, libRep.Algorithm, libRep.Rounds, libRep.BandwidthBits)
+		}
+		libStats, err := statsJSON(libRep)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal([]byte(res.Stats), libStats) {
+			return fmt.Errorf("drained job %s stats diverge from the library run:\n  daemon:  %s\n  library: %s", id, res.Stats, libStats)
+		}
+	}
+	return nil
+}
+
+// checkNodeCrashDuringDrain boots a dedicated router fronting two
+// one-worker daemons, fires a burst of case jobs through the router,
+// hard-crashes the worker holding the first still-running assignment,
+// and begins draining. The cluster-drain contract it pins: every job
+// the router admitted still reaches a terminal state byte-identical to
+// a fresh library run — the crashed worker's jobs re-dispatched to the
+// surviving replica, each at most once — submissions after BeginDrain
+// bounce with 503, and Drain itself completes despite the dead member.
+func checkNodeCrashDuringDrain(_ *Harness, c *Case) error {
+	cl, err := cluster.StartInProcess(2, serve.Config{
+		Workers:    1,
+		QueueDepth: 8,
+		// Worker caches off so every seed runs the engine for real.
+		CacheSize: -1,
+	}, cluster.Config{
+		// Full replication: both workers own every digest, so the
+		// survivor is always a live owner for the re-dispatch.
+		Replication: 2,
+		CacheSize:   -1,
+	})
+	if err != nil {
+		return fmt.Errorf("starting dedicated cluster: %w", err)
+	}
+	defer func() { _ = cl.Close(30 * time.Second) }()
+
+	g, err := c.Graph()
+	if err != nil {
+		return err
+	}
+	var edgeList bytes.Buffer
+	if err := subgraph.WriteEdgeList(&edgeList, g); err != nil {
+		return err
+	}
+	// Raw statuses matter (the post-drain 503 especially); a retrying
+	// client would paper over the admission decisions under test.
+	raw := &serve.Client{Base: cl.BaseURL, Retry: serve.NoRetry()}
+	up, err := raw.UploadGraph(edgeList.String())
+	if err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+
+	const burst = 4
+	ids := make([]string, 0, burst)
+	seeds := make([]int64, 0, burst)
+	victim := -1
+	for i := int64(0); i < burst; i++ {
+		spec := c.Options
+		spec.Seed = c.Options.Seed + i
+		jv, status, err := raw.SubmitJob(serve.JobSpec{
+			Graph:   up.Digest,
+			Pattern: c.Pattern,
+			Options: spec,
+		})
+		if err != nil {
+			return fmt.Errorf("burst submit %d: %w", i, err)
+		}
+		if status != http.StatusAccepted && status != http.StatusOK {
+			return fmt.Errorf("burst submit %d: HTTP %d from an idle two-worker cluster", i, status)
+		}
+		ids = append(ids, jv.ID)
+		seeds = append(seeds, spec.Seed)
+		// Aim the crash at a worker that still holds a running job; the
+		// view names it by base URL before the first probe and by node
+		// name after.
+		if victim < 0 && jv.State != serve.StateDone && jv.State != serve.StateFailed {
+			for w, wk := range cl.Workers {
+				if jv.Node == wk.BaseURL || jv.Node == fmt.Sprintf("w%d", w) {
+					victim = w
+					break
+				}
+			}
+		}
+	}
+	if victim < 0 {
+		victim = 0 // burst finished before we could aim; crash someone anyway
+	}
+	if err := cl.KillWorker(victim); err != nil {
+		return fmt.Errorf("killing worker %d: %w", victim, err)
+	}
+
+	cl.Router.BeginDrain()
+	lateSpec := c.Options
+	lateSpec.Seed = c.Options.Seed + 99
+	if _, status, err := raw.SubmitJob(serve.JobSpec{Graph: up.Digest, Pattern: c.Pattern, Options: lateSpec}); status != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain submit answered HTTP %d (%v), want 503", status, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	defer cancel()
+	if err := cl.Router.Drain(ctx); err != nil {
+		return fmt.Errorf("drain did not complete with a crashed member: %w", err)
+	}
+	if n := cl.Router.Registry().Counter(cluster.MetricJobsRedispatched).Value(); n > burst {
+		return fmt.Errorf("router redispatched %d times for %d admitted jobs (bound is once each)", n, burst)
+	}
+
+	for i, id := range ids {
+		jv, err := raw.Job(id)
+		if err != nil {
+			return fmt.Errorf("admitted job %s lost across the crash-drain: %w", id, err)
+		}
+		libRep, libErr := detectCase(c, func(o *subgraph.Options) { o.Seed = seeds[i] })
+		if jv.State == serve.StateFailed {
+			if libErr != nil && libErr.Error() == jv.Error {
+				continue
+			}
+			return fmt.Errorf("drained job %s failed (%s) but the library says %v", id, jv.Error, libErr)
+		}
+		if jv.State != serve.StateDone || jv.Result == nil {
+			return fmt.Errorf("admitted job %s ended %s with no result after the crash-drain", id, jv.State)
 		}
 		if libErr != nil {
 			return fmt.Errorf("drained job %s succeeded but the library fails: %v", id, libErr)

@@ -22,6 +22,53 @@ func TestDigestPinned(t *testing.T) {
 	}
 }
 
+// TestDigestGoldenSet pins the digests of a fixed graph family spanning
+// every generator. The cluster router shards jobs by digest (rendezvous
+// hashing on this exact string), so a digest drift would not just
+// invalidate content-addressed stores — it would silently reshuffle
+// which worker owns which graph across a rolling upgrade. Deterministic
+// generators plus the math/rand compatibility promise make these stable
+// across platforms; if one changes, either the serialization or a
+// generator changed — bump the "sgd1" magic and migrate deliberately.
+func TestDigestGoldenSet(t *testing.T) {
+	golden := []struct {
+		name string
+		want string
+	}{
+		{"complete-6", "1b9794d789fb1de3ee53f04ae807d66c013f98ceec46874eecbb4214094cc4a2"},
+		{"cycle-9", "e218a76cc756630a32b05b4e560fca59493a92072048e517a9c3e0e047072891"},
+		{"path-7", "e92d938895ed34265c6323ff56afd48d93adc4db1cc1a92936764c926f730f8e"},
+		{"star-5", "2836bdc55a7896a08089a8ff318d9746b7deb83070876460cf2cf7cd7d0beca2"},
+		{"bipartite-3x4", "9923b27fe8d8363e74be68ccab6d32868f687745647903d26a2c4c4e1171aa21"},
+		{"blowup-cycle-4x3", "dce489e60af9fc00b255d61090bdc62f4dca54fc5458d654f98ebdfa5c6e31b7"},
+		{"gnp-40-seed7", "9542956c86e462b9afda9326153f03c5749b80c7548ed1384deb8c31d0bebbc5"},
+		{"gnm-25-60-seed11", "f2947162f94277d6d13afc294e4d50903810b7786352d5ef246f441d2c1f692f"},
+		{"tree-30-seed3", "734d7ba4c2ce1aef4b0461eca2b8ec563bb19f7a184e09a69d8109e398560e1d"},
+		{"planted-k4-seed42", "7318c0c447025ce07f4e8dfd09de360c7b7cd94148e952fbd65261d9b50eb94d"},
+	}
+	build := map[string]func() *Graph{
+		"complete-6":       func() *Graph { return Complete(6) },
+		"cycle-9":          func() *Graph { return Cycle(9) },
+		"path-7":           func() *Graph { return Path(7) },
+		"star-5":           func() *Graph { return Star(5) },
+		"bipartite-3x4":    func() *Graph { return CompleteBipartite(3, 4) },
+		"blowup-cycle-4x3": func() *Graph { return BlowUpCycle(4, 3) },
+		"gnp-40-seed7":     func() *Graph { return GNP(40, 0.15, rand.New(rand.NewSource(7))) },
+		"gnm-25-60-seed11": func() *Graph { return GNM(25, 60, rand.New(rand.NewSource(11))) },
+		"tree-30-seed3":    func() *Graph { return RandomTree(30, rand.New(rand.NewSource(3))) },
+		"planted-k4-seed42": func() *Graph {
+			rng := rand.New(rand.NewSource(42))
+			g, _ := PlantClique(GNP(30, 0.1, rng), 4, rng)
+			return g
+		},
+	}
+	for _, tc := range golden {
+		if got := build[tc.name]().Digest(); got != tc.want {
+			t.Errorf("%s: pinned digest changed:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+}
+
 // TestDigestInsertionOrderInvariant: the digest is a function of the edge
 // *set*, not the order the Builder saw it — any permutation of the same
 // input yields the same digest, and repeated calls are stable.

@@ -25,6 +25,22 @@ import (
 
 // WritePrometheus renders the snapshot in Prometheus text format.
 func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
+	return WritePrometheusLabeled(w, s, nil)
+}
+
+// WritePrometheusLabeled renders the snapshot with a constant label set
+// attached to every sample — the multi-node form of WritePrometheus,
+// used to tag each node's scrape page with `node="..."` so a fleet's
+// pages can be aggregated without name collisions. Labels render sorted
+// by name; on histogram buckets they precede `le`. An empty or nil map
+// is byte-identical to WritePrometheus (pinned by the golden test).
+// Invalid label names or values that would break the exposition grammar
+// are rejected rather than escaped.
+func WritePrometheusLabeled(w io.Writer, s RegistrySnapshot, labels map[string]string) error {
+	base, err := promLabelPrefix(labels)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 
 	names := make([]string, 0, len(s.Counters))
@@ -34,7 +50,11 @@ func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
-		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+		if base == "" {
+			fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+		} else {
+			fmt.Fprintf(bw, "%s{%s} %d\n", name, base, s.Counters[name])
+		}
 	}
 
 	names = names[:0]
@@ -44,9 +64,20 @@ func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
-		fmt.Fprintf(bw, "%s %s\n", name, promFloat(s.Gauges[name]))
+		if base == "" {
+			fmt.Fprintf(bw, "%s %s\n", name, promFloat(s.Gauges[name]))
+		} else {
+			fmt.Fprintf(bw, "%s{%s} %s\n", name, base, promFloat(s.Gauges[name]))
+		}
 	}
 
+	// Histogram buckets always carry a label set, so the base labels
+	// just slot in ahead of le. The _sum/_count series follow the
+	// counter/gauge shape.
+	bucketPrefix := base
+	if bucketPrefix != "" {
+		bucketPrefix += ","
+	}
 	names = names[:0]
 	for name := range s.Histograms {
 		names = append(names, name)
@@ -58,14 +89,43 @@ func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+			fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", name, bucketPrefix, promFloat(bound), cum)
 		}
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
-		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", name, bucketPrefix, h.Count)
+		if base == "" {
+			fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+		} else {
+			fmt.Fprintf(bw, "%s_sum{%s} %s\n", name, base, promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count{%s} %d\n", name, base, h.Count)
+		}
 	}
 
 	return bw.Flush()
+}
+
+// promLabelPrefix renders a label map as `k1="v1",k2="v2"` sorted by
+// name, or "" for an empty map.
+func promLabelPrefix(labels map[string]string) (string, error) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	names := make([]string, 0, len(labels))
+	for name := range labels {
+		if !validLabelName(name) || name == "le" {
+			return "", fmt.Errorf("obs: invalid prometheus label name %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%s", name, strconv.Quote(labels[name]))
+	}
+	return sb.String(), nil
 }
 
 // promFloat renders a float the way Prometheus clients do: shortest

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusLabeled pins the multi-node exposition contract:
+// every sample carries the constant label set, histogram buckets keep
+// `le` last, and the strict parser accepts the page.
+func TestWritePrometheusLabeled(t *testing.T) {
+	var buf bytes.Buffer
+	labels := map[string]string{"node": "w1", "cluster": "local"}
+	if err := WritePrometheusLabeled(&buf, fixedRegistry().Snapshot(), labels); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of labeled page: %v\n%s", err, buf.Bytes())
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families parsed")
+	}
+	for _, fam := range fams {
+		for _, s := range fam.Samples {
+			if s.Labels["node"] != "w1" || s.Labels["cluster"] != "local" {
+				t.Fatalf("sample %s missing base labels: %v", s.Name, s.Labels)
+			}
+		}
+	}
+
+	// Labels render sorted by name, so cluster precedes node.
+	if !strings.Contains(buf.String(), `serve_jobs_submitted_total{cluster="local",node="w1"} 42`) {
+		t.Fatalf("counter line not labeled as expected:\n%s", buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), `serve_job_wall_ns_bucket{cluster="local",node="w1",le="+Inf"}`) {
+		t.Fatalf("histogram bucket line not labeled as expected:\n%s", buf.Bytes())
+	}
+
+	// Histogram invariants survive labeling (cumulative buckets, +Inf == _count).
+	for _, fam := range fams {
+		if fam.Type != "histogram" {
+			continue
+		}
+		var inf, count float64 = -1, -1
+		for _, s := range fam.Samples {
+			switch s.Name {
+			case fam.Name + "_bucket":
+				if s.Labels["le"] == "+Inf" {
+					inf = s.Value
+				}
+			case fam.Name + "_count":
+				count = s.Value
+			}
+		}
+		if inf != count || math.IsNaN(inf) {
+			t.Fatalf("histogram %s: +Inf bucket %v != count %v", fam.Name, inf, count)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledEmptyIdentical pins that a nil/empty label
+// map renders byte-identically to WritePrometheus — the single-node
+// page (and its golden file) must not shift when the labeled writer is
+// introduced.
+func TestWritePrometheusLabeledEmptyIdentical(t *testing.T) {
+	s := fixedRegistry().Snapshot()
+	var plain, nilLabeled, emptyLabeled bytes.Buffer
+	if err := WritePrometheus(&plain, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusLabeled(&nilLabeled, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusLabeled(&emptyLabeled, s, map[string]string{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), nilLabeled.Bytes()) || !bytes.Equal(plain.Bytes(), emptyLabeled.Bytes()) {
+		t.Fatal("labeled writer with no labels diverges from WritePrometheus")
+	}
+}
+
+func TestWritePrometheusLabeledRejectsBadLabels(t *testing.T) {
+	s := fixedRegistry().Snapshot()
+	for _, bad := range []map[string]string{
+		{"le": "node-a"},      // would collide with histogram bucket labels
+		{"bad-name": "x"},     // '-' not in the label grammar
+		{"": "x"},             // empty name
+		{"9leading": "digit"}, // leading digit
+	} {
+		var buf bytes.Buffer
+		if err := WritePrometheusLabeled(&buf, s, bad); err == nil {
+			t.Fatalf("labels %v: expected error, got page:\n%s", bad, buf.Bytes())
+		}
+	}
+}

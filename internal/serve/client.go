@@ -25,6 +25,14 @@ import (
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
+	// Endpoints, when non-empty, makes the client multi-endpoint: the
+	// listed server roots (typically a cluster's routers) are equivalent
+	// targets. The client is sticky — it keeps using one endpoint until
+	// an attempt gets no response (status 0) or a 502/503/504, then
+	// rotates to the next for the retry. 429 does not rotate: cluster
+	// backpressure is cluster-wide, so the Retry-After is honored in
+	// place and surfaced unchanged. Base, when also set, is tried first.
+	Endpoints []string
 	// HTTPClient defaults to a client with a 30s request timeout.
 	HTTPClient *http.Client
 	// Retry tunes retries; nil means DefaultRetryPolicy.
@@ -38,8 +46,83 @@ type Client struct {
 	// Stats counts attempts and retry outcomes.
 	Stats ClientStats
 
-	mu  sync.Mutex
-	rng *rand.Rand // jitter source, seeded from the policy
+	mu      sync.Mutex
+	rng     *rand.Rand // jitter source, seeded from the policy
+	epIdx   int        // sticky index into endpoints()
+	epStats map[string]*EndpointStats
+}
+
+// EndpointStats attributes a multi-endpoint client's traffic to one
+// endpoint. Counters are snapshots (EndpointStatsView copies them under
+// the client mutex).
+type EndpointStats struct {
+	// Attempts counts HTTP attempts sent to this endpoint.
+	Attempts int64 `json:"attempts"`
+	// Failures counts attempts with no response (status 0) or a 5xx.
+	Failures int64 `json:"failures"`
+	// Rotations counts failures that moved the client off this endpoint.
+	Rotations int64 `json:"rotations"`
+}
+
+// EndpointStatsView returns a copy of the per-endpoint attribution,
+// keyed by endpoint root. Endpoints never attempted are absent.
+func (c *Client) EndpointStatsView() map[string]EndpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]EndpointStats, len(c.epStats))
+	for base, s := range c.epStats {
+		out[base] = *s
+	}
+	return out
+}
+
+// endpoints returns the target list: Base first when set, then
+// Endpoints. A plain single-Base client yields exactly {Base}.
+func (c *Client) endpoints() []string {
+	if len(c.Endpoints) == 0 {
+		return []string{c.Base}
+	}
+	if c.Base != "" {
+		return append([]string{c.Base}, c.Endpoints...)
+	}
+	return c.Endpoints
+}
+
+// currentBase returns the endpoint the next attempt targets.
+func (c *Client) currentBase() string {
+	eps := c.endpoints()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epIdx >= len(eps) {
+		c.epIdx = 0
+	}
+	return eps[c.epIdx]
+}
+
+// noteEndpoint records one attempt's outcome against its endpoint and,
+// when the attempt failed transiently with alternatives available,
+// rotates the sticky index so the next attempt lands elsewhere.
+func (c *Client) noteEndpoint(base string, failed bool) {
+	eps := c.endpoints()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epStats == nil {
+		c.epStats = make(map[string]*EndpointStats)
+	}
+	st := c.epStats[base]
+	if st == nil {
+		st = &EndpointStats{}
+		c.epStats[base] = st
+	}
+	st.Attempts++
+	if !failed {
+		return
+	}
+	st.Failures++
+	if len(eps) > 1 && c.epIdx < len(eps) && eps[c.epIdx] == base {
+		st.Rotations++
+		c.epIdx = (c.epIdx + 1) % len(eps)
+	}
 }
 
 func (c *Client) http() *http.Client {
@@ -95,13 +178,18 @@ func (c *Client) doPolicyTraced(p RetryPolicy, method, path, contentType string,
 	)
 	for attempt := 1; ; attempt++ {
 		c.Stats.Attempts.Add(1)
+		base := c.currentBase()
 		span := root.StartChild("attempt_" + strconv.Itoa(attempt))
-		status, retryAfter, err = c.attempt(p, method, path, contentType, body, out, traceID)
+		span.Annotate("endpoint", base)
+		status, retryAfter, err = c.attempt(base, p, method, path, contentType, body, out, traceID)
 		span.Annotate("status", strconv.Itoa(status))
 		if err != nil {
 			span.Annotate("error", err.Error())
 		}
 		span.Finish()
+		// Rotate off a dead or erroring endpoint (no response / 502 / 503 /
+		// 504) so the retry tries the next one; 429 backpressure stays put.
+		c.noteEndpoint(base, status == 0 || status >= 500)
 		if status == http.StatusTooManyRequests {
 			saw429, err429 = true, err
 		}
@@ -135,12 +223,12 @@ func (c *Client) doPolicyTraced(p RetryPolicy, method, path, contentType string,
 	}
 }
 
-// attempt issues one HTTP attempt. status 0 means the request never got
-// an HTTP response (connection error / timeout).
-func (c *Client) attempt(p RetryPolicy, method, path, contentType string, body []byte, out any, traceID string) (status int, retryAfter time.Duration, err error) {
+// attempt issues one HTTP attempt against base. status 0 means the
+// request never got an HTTP response (connection error / timeout).
+func (c *Client) attempt(base string, p RetryPolicy, method, path, contentType string, body []byte, out any, traceID string) (status int, retryAfter time.Duration, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), p.PerAttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -272,7 +360,7 @@ func (c *Client) DebugJob(id string) (*obs.TimelineView, error) {
 
 // MetricsProm fetches the Prometheus text exposition page.
 func (c *Client) MetricsProm() ([]byte, error) {
-	resp, err := c.http().Get(c.Base + "/metrics?format=prom")
+	resp, err := c.http().Get(c.currentBase() + "/metrics?format=prom")
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +426,7 @@ func (c *Client) WaitJob(id string, timeout time.Duration) (JobView, error) {
 
 // Trace downloads a job's JSONL trace.
 func (c *Client) Trace(id string) ([]byte, error) {
-	resp, err := c.http().Get(c.Base + "/v1/jobs/" + id + "/trace")
+	resp, err := c.http().Get(c.currentBase() + "/v1/jobs/" + id + "/trace")
 	if err != nil {
 		return nil, err
 	}

@@ -28,10 +28,20 @@ type UploadView struct {
 	Deduped bool `json:"deduped,omitempty"`
 }
 
-// HealthView is the wire response of /healthz.
+// HealthView is the wire response of /healthz. Role/Node/Shards are the
+// cluster-facing fields: a router's health prober keys routing decisions
+// off them, and a draining node keeps reporting them under its 503 so
+// the prober can tell "draining" from "dead".
 type HealthView struct {
-	Status   string `json:"status"` // "ok" | "draining"
-	Draining bool   `json:"draining,omitempty"`
+	Status string `json:"status"` // "ok" | "draining"
+	// Role is "worker" (a serve.Server) or "router" (a cluster router).
+	Role string `json:"role,omitempty"`
+	// Node is the configured node name; empty on unnamed single nodes.
+	Node string `json:"node,omitempty"`
+	// Shards counts owned graph digests: stored graphs on a worker,
+	// routable digests on a router.
+	Shards   int  `json:"shards"`
+	Draining bool `json:"draining,omitempty"`
 }
 
 // MetricsView is the wire response of /metrics: server-level gauges plus
@@ -70,6 +80,12 @@ func (s *Server) Handler() http.Handler {
 // server echoes the effective ID on every submit response.
 const TraceIDHeader = "X-Trace-Id"
 
+// ForwardedByHeader names the cluster router that forwarded a job to
+// this worker. The worker annotates its root job span with the value, so
+// a forwarded job's /debug/jobs timeline says which hop dispatched it —
+// the router's own spans chain onto the same X-Trace-Id.
+const ForwardedByHeader = "X-Forwarded-By"
+
 // writeJSON emits compact JSON: an indenting encoder would reformat the
 // json.RawMessage Stats inside job results and break the documented
 // byte-identity with library-side json.Marshal(Stats).
@@ -84,12 +100,15 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	v := HealthView{Status: "ok", Role: "worker", Node: s.cfg.NodeName, Shards: s.store.Len()}
 	if s.Draining() {
-		// 503 tells orchestrators to stop routing while queued jobs finish.
-		writeJSON(w, http.StatusServiceUnavailable, HealthView{Status: "draining", Draining: true})
+		// 503 tells orchestrators (and the cluster router's prober) to stop
+		// routing while queued jobs finish.
+		v.Status, v.Draining = "draining", true
+		writeJSON(w, http.StatusServiceUnavailable, v)
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthView{Status: "ok"})
+	writeJSON(w, http.StatusOK, v)
 }
 
 // refreshServerGauges pushes the envelope state (workers, queue, stores,
@@ -113,7 +132,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "prom" {
 		s.refreshServerGauges()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+		var labels map[string]string
+		if s.cfg.NodeName != "" {
+			labels = map[string]string{"node": s.cfg.NodeName}
+		}
+		_ = obs.WritePrometheusLabeled(w, s.reg.Snapshot(), labels)
 		return
 	}
 	s.refreshServerGauges()
@@ -205,6 +228,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	tl := obs.NewTimeline(traceID)
 	w.Header().Set(TraceIDHeader, tl.TraceID())
 	root := tl.StartSpan("job")
+	if fwd := r.Header.Get(ForwardedByHeader); fwd != "" {
+		root.Annotate("forwarded_by", fwd)
+	}
 
 	if s.Draining() {
 		s.reg.Counter(MetricJobsDraining).Inc()

@@ -46,6 +46,16 @@ func StartInProcess(cfg Config) (*InProcess, error) {
 	}, nil
 }
 
+// Kill hard-closes the listener and every active connection without
+// draining — the crash-injection hook the cluster harness and the
+// node-crash diffcheck oracle use. In-flight worker goroutines keep
+// running (and their results are simply unreachable), which is exactly
+// what a router sees when a node dies mid-job: connection errors on
+// forward and poll. Safe to call more than once.
+func (p *InProcess) Kill() error {
+	return p.hs.Close()
+}
+
 // Close drains the server (bounded by timeout; 0 means 30s) and shuts the
 // listener down. Safe to call once.
 func (p *InProcess) Close(timeout time.Duration) error {

@@ -115,6 +115,11 @@ type JobView struct {
 	// jobs): the duration of the root span of the job's timeline, so it
 	// equals the total_ns the debug timeline reports.
 	LatencyNs int64 `json:"latency_ns,omitempty"`
+	// Node names the node that answered the job. A single serve.Server
+	// never sets it; the cluster router fills it in when relaying a
+	// worker's answer (the worker's name) or answering from the shared
+	// cache (the router's own name).
+	Node string `json:"node,omitempty"`
 }
 
 // job is the server-side job record.
@@ -256,26 +261,8 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 		return nil, &apiError{status: 404, msg: fmt.Sprintf("unknown graph digest %q (upload it first)", digest)}
 	}
 
-	// The cache key uses the *pattern graph's* digest, so aliases like
-	// "triangle" and "cycle:3" share entries. The deadline is stripped
-	// from the key: only complete (non-partial) results are ever cached,
-	// and a complete result is deadline-independent — the engine checks
-	// the budget between rounds but the execution itself is a pure
-	// function of (graph, pattern, options-sans-deadline, seed). Keying
-	// the deadline would split identical executions into per-deadline
-	// cache entries and miss on every requests-differ-only-in-deadline
-	// resubmission.
 	effective := subgraph.OptionsSpecOf(opts)
-	keySpec := effective
-	keySpec.DeadlineMs = 0
-	key := digest + "|" + h.Digest() + "|" + keySpec.Canonical()
-	if count {
-		// A count is a pure function of (graph, clique size): seeds, reps
-		// and engine selection never change it, so the key drops the
-		// options entirely — requests differing only there share one entry
-		// (and coalesce onto one in-flight kernel pass).
-		key = digest + "|" + h.Digest() + "|" + ModeCount
-	}
+	key := cacheKey(digest, h, effective, count)
 	return &job{
 		digest:   digest,
 		pattern:  spec.Pattern,

@@ -50,6 +50,15 @@ type LoadGenConfig struct {
 	Retry *RetryPolicy
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Nodes and Replication describe the cluster topology behind BaseURL
+	// (router + N workers, graphs replicated R ways). Zero Nodes means a
+	// single-node run and keeps the workload descriptor byte-identical to
+	// historical baselines; when set, both are recorded in the descriptor
+	// so cmd/benchreport refuses to silently compare a 3-node run against
+	// a single-node baseline.
+	Nodes int
+	// Replication is meaningful only when Nodes > 0.
+	Replication int
 }
 
 // Workload renders the canonical mix descriptor recorded in results and
@@ -59,9 +68,13 @@ type LoadGenConfig struct {
 // files have to say so.
 func (c LoadGenConfig) Workload() string {
 	c = c.withDefaults()
-	return fmt.Sprintf("jobs=%d conc=%d graphs=%dx%d repeat=%.2f low=%.2f count=%.2f warmup=%d seed=%d",
+	desc := fmt.Sprintf("jobs=%d conc=%d graphs=%dx%d repeat=%.2f low=%.2f count=%.2f warmup=%d seed=%d",
 		c.Jobs, c.Concurrency, c.Graphs, c.GraphN, c.RepeatFraction,
 		c.LowPriorityFraction, c.CountFraction, c.Warmup, c.Seed)
+	if c.Nodes > 0 {
+		desc += fmt.Sprintf(" nodes=%d repl=%d", c.Nodes, c.Replication)
+	}
+	return desc
 }
 
 func (c LoadGenConfig) withDefaults() LoadGenConfig {

@@ -142,6 +142,12 @@ type Config struct {
 	// drain lifecycle, SLO transitions) with job_id/trace_id/digest attrs.
 	// Nil discards — tests and embedders stay quiet by default.
 	Logger *slog.Logger
+	// NodeName identifies this node in a cluster: it is reported by
+	// /healthz, and when set the Prometheus page labels every sample
+	// `node="<name>"` so a fleet's scrapes aggregate without collisions.
+	// Empty (the single-node default) leaves the exposition unlabeled and
+	// byte-identical to earlier versions.
+	NodeName string
 }
 
 // JobDone describes a completed job to the Config.OnJobDone tap. Network

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-compare bench-kernels diffcheck experiments experiments-quick examples serve smoke cluster-smoke loadgen-report loadgen-cluster-report chaos-report chaos-trace-report canary-smoke trace-demo clean
+.PHONY: all build test race bench bench-report bench-compare bench-kernels diffcheck experiments experiments-quick examples serve smoke cluster-smoke delta-smoke loadgen-report loadgen-cluster-report chaos-report chaos-trace-report canary-smoke churn-report trace-demo clean
 
 all: build test
 
@@ -62,6 +62,19 @@ smoke:
 cluster-smoke:
 	$(GO) test -race -count=1 ./internal/cluster
 	./scripts/smoke_cluster.sh
+
+# End-to-end evolving-graph smoke: race-test the delta paths, then drive
+# the real binary through upload → watched deltas → forwarded-cache count
+# job → 409 conflict → clean drain (see README "Evolving graphs").
+delta-smoke:
+	$(GO) test -race -count=1 ./internal/graph ./internal/kernel ./internal/serve
+	./scripts/delta_smoke.sh
+
+# Re-measure the committed evolving-graph baseline: per-step wall time of
+# one watched delta vs re-uploading and recounting the same successor
+# from scratch (run on a quiet machine; see EXPERIMENTS.md E13).
+churn-report:
+	$(GO) run ./cmd/subgraphd -churn -out BENCH_PR10.json
 
 # Re-measure the committed serving baseline (in-process server; run on a
 # quiet machine). All loadgen baselines share -jobs 400 -seed 1 and a

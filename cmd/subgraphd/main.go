@@ -50,6 +50,7 @@ func run() int {
 		cacheSize    = flag.Int("cache", 512, "result cache entries (0 or negative disables caching)")
 		maxGraphs    = flag.Int("max-graphs", 128, "graphs retained in the content-addressed store (LRU)")
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "per-job wall-clock deadline cap")
+		deltaChurn   = flag.Float64("delta-churn", 0, "churn-ratio threshold (changes/edges) at or under which deltas maintain results incrementally; 0 means the default 0.05, negative disables incremental maintenance")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
 
 		router      = flag.Bool("router", false, "router mode: front a static worker fleet with digest routing, a shared result cache, and cluster admission control (requires -members)")
@@ -78,6 +79,12 @@ func run() int {
 		chaos       = flag.Bool("chaos", false, "loadgen: wrap the in-process server in seeded fault injection (429/503/latency) — grades the client's retry policy")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "loadgen: fault-injection seed")
 		out         = flag.String("out", "", "loadgen: write the benchreport JSON here (default stdout)")
+
+		churn        = flag.Bool("churn", false, "churn mode: evolve a graph through a delta chain and report incremental-vs-scratch count latency (combine with -loadgen flags -seed/-graph-n/-target/-out)")
+		churnSteps   = flag.Int("churn-steps", 40, "churn: delta-chain length")
+		churnChanges = flag.Int("churn-changes", 8, "churn: edge changes per delta (churn ratio = changes/m)")
+		churnDegree  = flag.Float64("churn-degree", 40, "churn: average degree of the evolving graph")
+		churnPattern = flag.String("churn-pattern", "clique:4", "churn: watched clique-family pattern")
 
 		selfcheck = flag.String("selfcheck", "", "run the end-to-end self-check against this base URL and exit")
 		saturate  = flag.Bool("saturate", false, "selfcheck: also assert 429 admission control (server must run -workers 1 -queue 1)")
@@ -110,12 +117,13 @@ func run() int {
 		flight = *jobs * 8
 	}
 	cfg := serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      effCache,
-		MaxGraphs:      *maxGraphs,
-		MaxJobDeadline: *maxDeadline,
-		Registry:       reg,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheSize:           effCache,
+		MaxGraphs:           *maxGraphs,
+		MaxJobDeadline:      *maxDeadline,
+		DeltaChurnThreshold: *deltaChurn, // 0 → serve's 0.05 default, negative → disabled
+		Registry:            reg,
 		SLO: serve.SLOConfig{
 			LatencyBudget:   *sloP99,
 			QueueWaitBudget: *sloQWait,
@@ -146,8 +154,8 @@ func run() int {
 
 	switch {
 	case *router:
-		if *loadgen || *selfcheck != "" {
-			logger.Error("-router is a serving mode; drop -loadgen / -selfcheck")
+		if *loadgen || *churn || *selfcheck != "" {
+			logger.Error("-router is a serving mode; drop -loadgen / -churn / -selfcheck")
 			return 2
 		}
 		memberList := splitMembers(*members)
@@ -186,6 +194,31 @@ func run() int {
 		}
 		logger.Info("selfcheck passed")
 		return 0
+
+	case *churn:
+		if *loadgen {
+			logger.Error("-churn is its own workload; drop -loadgen")
+			return 2
+		}
+		// -graph-n's flag default (150) suits the job-mix loadgen; the churn
+		// chain defaults larger (ChurnConfig's 2000) so the from-scratch
+		// comparator does real work. An explicit -graph-n wins in both modes.
+		churnN := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "graph-n" {
+				churnN = *graphN
+			}
+		})
+		return runChurn(logger, cfg, serve.ChurnConfig{
+			BaseURL: *target,
+			Steps:   *churnSteps,
+			GraphN:  churnN,
+			Degree:  *churnDegree,
+			Changes: *churnChanges,
+			Pattern: *churnPattern,
+			Seed:    *seed,
+			Logf:    logf,
+		}, *out)
 
 	case *loadgen:
 		if *clusterN > 0 && (*target != "" || *chaos || *canaryFrac > 0) {
@@ -472,6 +505,60 @@ func runLoadGen(logger *slog.Logger, cfg serve.Config, lg serve.LoadGenConfig, o
 		return 1
 	}
 	if res.CanaryDivergences > 0 {
+		return 1
+	}
+	data, err := json.MarshalIndent(res.BenchReport(), "", "  ")
+	if err != nil {
+		logger.Error("encoding report", "err", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "" {
+		fmt.Print(string(data))
+		return 0
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		logger.Error("writing report", "path", out, "err", err)
+		return 1
+	}
+	logger.Info("wrote report", "path", out)
+	return 0
+}
+
+// runChurn drives the evolving-graph churn workload, spinning up an
+// in-process daemon when no -target is given, and writes the benchreport
+// JSON with the incremental-vs-scratch speedup columns.
+func runChurn(logger *slog.Logger, cfg serve.Config, cc serve.ChurnConfig, out string) int {
+	var srv *serve.Server
+	var hs *http.Server
+	if cc.BaseURL == "" {
+		srv = serve.New(cfg)
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			logger.Error("listen", "err", err)
+			return 1
+		}
+		hs = &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		cc.BaseURL = "http://" + ln.Addr().String()
+		logger.Info("churn against in-process server", "url", cc.BaseURL, "workers", cfg.Workers)
+	}
+
+	res, err := serve.RunChurn(cc)
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, derr := srv.Drain(ctx)
+		_ = hs.Shutdown(ctx)
+		cancel()
+		if derr != nil {
+			logger.Error("drain after churn", "err", derr)
+			return 1
+		}
+	}
+	if err != nil {
+		logger.Error("churn", "err", err)
 		return 1
 	}
 	data, err := json.MarshalIndent(res.BenchReport(), "", "  ")

@@ -174,6 +174,9 @@ func (r *Router) Drain(ctx context.Context) error {
 	for {
 		pending := r.pendingJobs()
 		if len(pending) == 0 {
+			// Deltas have been refused since BeginDrain; the recount pool
+			// can park permanently.
+			r.krn.Close()
 			r.logger.Info("router drain complete",
 				"jobs_completed", r.reg.Counter(MetricJobsCompleted).Value())
 			return nil
@@ -416,8 +419,12 @@ func (r *Router) forward(cj *cjob, exclude string) fwdResult {
 			return fwdResult{assigned: true, view: cj.translate(view, m.displayName())}
 		case status == http.StatusTooManyRequests:
 			saw429 = true
-			if n, aerr := strconv.Atoi(ra); aerr == nil && n > maxRetryAfter {
-				maxRetryAfter = n
+			// Workers may answer in either RFC 9110 form; normalize to
+			// whole seconds (rounded up) for the re-emitted header.
+			if d, ok := serve.ParseRetryAfter(ra, time.Now()); ok {
+				if n := int((d + time.Second - 1) / time.Second); n > maxRetryAfter {
+					maxRetryAfter = n
+				}
 			}
 			lastErr = errString(err)
 		case status == http.StatusServiceUnavailable:
@@ -434,6 +441,12 @@ func (r *Router) forward(cj *cjob, exclude string) fwdResult {
 		}
 	}
 	if saw429 {
+		// Clamp to the router's own honesty bound (mirrors the worker-side
+		// retryAfterSeconds cap) so one confused worker cannot park every
+		// client behind a giant date-form header.
+		if maxRetryAfter > 30 {
+			maxRetryAfter = 30
+		}
 		ra := ""
 		if maxRetryAfter > 0 {
 			ra = strconv.Itoa(maxRetryAfter)

@@ -28,6 +28,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", r.handleGraphList)
 	mux.HandleFunc("GET /v1/graphs/{digest}", r.handleGraphInfo)
 	mux.HandleFunc("GET /v1/graphs/{digest}/edgelist", r.handleGraphDownload)
+	mux.HandleFunc("POST /v1/graphs/{digest}/delta", r.handleGraphDelta)
 	mux.HandleFunc("POST /v1/jobs", r.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", r.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", r.handleJobTrace)

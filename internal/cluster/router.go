@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"subgraph/internal/graph"
+	"subgraph/internal/kernel"
 	"subgraph/internal/obs"
 	"subgraph/internal/serve"
 )
@@ -37,6 +38,8 @@ const (
 	MetricCacheMisses      = "cluster_cache_misses_total"
 	MetricGraphUploads     = "cluster_graphs_uploaded_total"
 	MetricGraphPushes      = "cluster_graph_pushes_total" // router→worker replications
+	MetricGraphDeltas      = "cluster_graph_deltas_total" // deltas applied through the router
+	MetricDeltaSeeded      = "cluster_delta_seeded_total" // shared-cache entries seeded along lineage
 	MetricProbes           = "cluster_probes_total"
 	GaugeMembers           = "cluster_members"
 	GaugeMembersUp         = "cluster_members_up"
@@ -198,6 +201,7 @@ type Router struct {
 	cache   *serve.Cache // cluster-shared result cache
 	slo     *serve.SLOGuard
 	flight  *obs.FlightRecorder // nil when disabled
+	krn     *kernel.Kernel      // incremental recounts for lineage cache seeding
 	logger  *slog.Logger
 	start   time.Time
 	members []*member
@@ -235,6 +239,7 @@ func New(cfg Config) (*Router, error) {
 		reg:    cfg.Registry,
 		store:  serve.NewStore(cfg.MaxGraphs),
 		cache:  serve.NewCache(cfg.CacheSize),
+		krn:    kernel.New(0),
 		logger: cfg.Logger,
 		start:  time.Now(),
 		jobs:   make(map[string]*cjob),
@@ -252,7 +257,8 @@ func New(cfg Config) (*Router, error) {
 		MetricJobsFailed, MetricJobsRedispatched, MetricJobsShed,
 		MetricJobsRejected, MetricJobsBounced, MetricJobsUnroutable,
 		MetricJobsDraining, MetricCacheHits, MetricCacheMisses,
-		MetricGraphUploads, MetricGraphPushes, MetricProbes,
+		MetricGraphUploads, MetricGraphPushes, MetricGraphDeltas,
+		MetricDeltaSeeded, MetricProbes,
 	} {
 		r.reg.Counter(name)
 	}

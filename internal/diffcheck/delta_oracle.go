@@ -1,0 +1,286 @@
+package diffcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/graph"
+	"subgraph/internal/kernel"
+	"subgraph/internal/serve"
+)
+
+// The delta-vs-scratch oracle: random delta sequences applied three ways
+// — incrementally in the library (graph.ApplyDelta chain), incrementally
+// through the daemon's delta endpoint (watch evaluation + lineage cache
+// forwarding), and rebuilt from scratch from an independently maintained
+// edge set — must agree at every step: byte-identical digests, identical
+// kernel counts on both adjacency backends, identical cycle verdicts,
+// and identical engine reports on the evolved graph. This is the
+// evolving-graph subsystem's equivalent of the serve-roundtrip oracle:
+// incremental maintenance must be indistinguishable from recomputation.
+
+// deltaOracleSequences and deltaOracleSteps size one oracle evaluation:
+// each case runs this many independent delta sequences of this many
+// random deltas each.
+const (
+	deltaOracleSequences = 3
+	deltaOracleSteps     = 4
+)
+
+// deltaWatchSpecs are the patterns every sequence step watches: two
+// clique-family counts (exercising CountDelta chaining) and one longer
+// cycle (exercising the dirty-region rules).
+var deltaWatchSpecs = []string{"clique:3", "clique:4", "cycle:4"}
+
+// randomDelta draws a small valid delta against g: 1–3 changes sampled
+// without replacement from the present (delete) and absent (insert)
+// pair sets. Guaranteed non-empty for any graph with at least one pair.
+func randomDelta(rng *rand.Rand, g *graph.Graph) graph.EdgeDelta {
+	present := g.Edges()
+	var absent [][2]int
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				absent = append(absent, [2]int{u, v})
+			}
+		}
+	}
+	rng.Shuffle(len(present), func(i, j int) { present[i], present[j] = present[j], present[i] })
+	rng.Shuffle(len(absent), func(i, j int) { absent[i], absent[j] = absent[j], absent[i] })
+	var d graph.EdgeDelta
+	pi, ai := 0, 0
+	for i := 1 + rng.Intn(3); i > 0; i-- {
+		if (rng.Intn(2) == 0 && pi < len(present)) || ai >= len(absent) {
+			if pi < len(present) {
+				d.Delete = append(d.Delete, present[pi])
+				pi++
+			}
+		} else {
+			d.Insert = append(d.Insert, absent[ai])
+			ai++
+		}
+	}
+	return d
+}
+
+// scratchBuild constructs a graph from an independently maintained
+// normalized edge set — the from-scratch side of the comparison.
+func scratchBuild(n int, edges map[[2]int]bool) *graph.Graph {
+	list := make([][2]int, 0, len(edges))
+	for e := range edges {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i][0] != list[j][0] {
+			return list[i][0] < list[j][0]
+		}
+		return list[i][1] < list[j][1]
+	})
+	b := graph.NewBuilder(n)
+	for _, e := range list {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func normPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func checkDeltaVsScratch(h *Harness, c *Case) error {
+	srv, err := h.server()
+	if err != nil {
+		return fmt.Errorf("starting in-process daemon: %w", err)
+	}
+	g0, err := c.Graph()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x0de17a))
+	for seq := 0; seq < deltaOracleSequences; seq++ {
+		if err := runDeltaSequence(h, srv, c, g0, rng); err != nil {
+			return fmt.Errorf("delta sequence %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+func runDeltaSequence(h *Harness, srv *serve.InProcess, c *Case, g0 *graph.Graph, rng *rand.Rand) error {
+	var edgeList bytes.Buffer
+	if err := subgraph.WriteEdgeList(&edgeList, g0); err != nil {
+		return err
+	}
+	up, err := srv.Client.UploadGraph(edgeList.String())
+	if err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	if up.Digest != g0.Digest() {
+		return fmt.Errorf("daemon digest %s != library digest %s", up.Digest, g0.Digest())
+	}
+
+	// Independent from-scratch state: a plain edge set the sequence
+	// maintains alongside the incremental chain.
+	edges := make(map[[2]int]bool, g0.M())
+	for _, e := range g0.Edges() {
+		edges[normPair(e[0], e[1])] = true
+	}
+
+	k := h.kernel()
+	cycle4, err := subgraph.ParsePattern("cycle:4")
+	if err != nil {
+		return err
+	}
+	cur, curDigest := g0, up.Digest
+	for step := 0; step < deltaOracleSteps; step++ {
+		d := randomDelta(rng, cur)
+
+		// Incremental path 1: library apply.
+		res, err := graph.ApplyDelta(cur, d)
+		if err != nil {
+			return fmt.Errorf("step %d: ApplyDelta: %w", step, err)
+		}
+		child := res.Graph
+
+		// From-scratch path: replay the ops on the independent edge set
+		// and rebuild.
+		for _, e := range d.Delete {
+			delete(edges, normPair(e[0], e[1]))
+		}
+		for _, e := range d.Insert {
+			edges[normPair(e[0], e[1])] = true
+		}
+		scratch := scratchBuild(g0.N(), edges)
+		if child.Digest() != scratch.Digest() {
+			return fmt.Errorf("step %d: incremental digest %s != from-scratch digest %s",
+				step, child.Digest(), scratch.Digest())
+		}
+
+		// Kernel backend: the incremental recount over the touched set must
+		// equal from-scratch counts on BOTH adjacency modes.
+		pb, cb := graph.NewBitAdjacency(cur), graph.NewBitAdjacency(child)
+		wantCnt := map[int]int64{}
+		for _, size := range []int{3, 4} {
+			dense := k.Count(graph.NewBitAdjacencyDense(scratch), size)
+			hybrid := k.Count(graph.NewBitAdjacencyHybrid(scratch), size)
+			if dense != hybrid {
+				return fmt.Errorf("step %d: dense count %d != hybrid count %d for K_%d", step, dense, hybrid, size)
+			}
+			parentCnt := k.Count(pb, size)
+			inc := k.CountDelta(cur, pb, child, cb, size, res.Touched, parentCnt)
+			if inc != dense {
+				return fmt.Errorf("step %d: incremental K_%d count %d != from-scratch %d (touched %d of %d vertices)",
+					step, size, inc, dense, len(res.Touched), child.N())
+			}
+			wantCnt[size] = dense
+		}
+		wantCycle4 := subgraph.ContainsSubgraph(cycle4, scratch)
+
+		// Incremental path 2: the daemon's delta endpoint, watches riding
+		// along. Its digest and every watch verdict must match the
+		// from-scratch ground truth regardless of churn gating.
+		dv, status, err := srv.Client.ApplyDelta(curDigest, serve.DeltaRequest{
+			Insert: d.Insert, Delete: d.Delete, Watch: deltaWatchSpecs,
+		})
+		if err != nil {
+			return fmt.Errorf("step %d: daemon delta: %w", step, err)
+		}
+		if status != http.StatusCreated && status != http.StatusOK {
+			return fmt.Errorf("step %d: daemon delta status %d", step, status)
+		}
+		if dv.Digest != scratch.Digest() {
+			return fmt.Errorf("step %d: daemon successor digest %s != from-scratch %s", step, dv.Digest, scratch.Digest())
+		}
+		if len(dv.Watch) != len(deltaWatchSpecs) {
+			return fmt.Errorf("step %d: %d watch results for %d watched patterns", step, len(dv.Watch), len(deltaWatchSpecs))
+		}
+		for i, size := range []int{3, 4} {
+			wr := dv.Watch[i]
+			if wr.Count == nil || *wr.Count != wantCnt[size] {
+				return fmt.Errorf("step %d: daemon watch %s = %+v, from-scratch count %d (incremental=%v churn=%v)",
+					step, wr.Pattern, wr, wantCnt[size], wr.Incremental, dv.ChurnRatio)
+			}
+			if wr.Detected != (wantCnt[size] > 0) {
+				return fmt.Errorf("step %d: daemon watch %s detected=%v with count %d", step, wr.Pattern, wr.Detected, wantCnt[size])
+			}
+		}
+		if wr := dv.Watch[2]; wr.Detected != wantCycle4 {
+			return fmt.Errorf("step %d: daemon watch cycle:4 detected=%v, from-scratch containment %v (incremental=%v)",
+				step, wr.Detected, wantCycle4, wr.Incremental)
+		}
+
+		cur, curDigest = child, dv.Digest
+	}
+
+	// Both CONGEST engines on the evolved graph: identical reports, and
+	// exact detectors agree with VF2 containment — evolution must leave
+	// the engines exactly as consistent as they are on fresh graphs.
+	pat, err := c.PatternGraph()
+	if err != nil {
+		return err
+	}
+	opts, err := c.DetectOptions()
+	if err != nil {
+		return err
+	}
+	opts.Parallel = false
+	seqRep, seqErr := subgraph.Detect(subgraph.NewNetwork(cur), pat, opts)
+	opts.Parallel = true
+	parRep, parErr := subgraph.Detect(subgraph.NewNetwork(cur), pat, opts)
+	if err := errorsMatch("evolved seq vs parallel", seqErr, parErr); err != nil {
+		return err
+	}
+	if d := diffReports("evolved seq vs parallel", seqRep, parRep); d != "" {
+		return fmt.Errorf("%s", d)
+	}
+	if seqErr == nil && exactAlgorithms[seqRep.Algorithm] {
+		if truth := subgraph.ContainsSubgraph(pat, cur); seqRep.Detected != truth {
+			return fmt.Errorf("evolved graph: exact detector %s reports %v, VF2 containment %v", seqRep.Algorithm, seqRep.Detected, truth)
+		}
+	}
+
+	// Daemon count job on the final successor: the result — whether it
+	// hits a lineage-forwarded cache entry or recomputes — must be
+	// byte-identical to the from-scratch count envelope.
+	finalCnt := k.Count(graph.NewBitAdjacency(cur), 3)
+	jv, status, err := srv.Client.SubmitJob(serve.JobSpec{Graph: curDigest, Pattern: "clique:3", Mode: serve.ModeCount})
+	if err != nil {
+		return fmt.Errorf("final count job: %w", err)
+	}
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return fmt.Errorf("final count job: status %d", status)
+	}
+	if jv.State != serve.StateDone {
+		if jv, err = srv.Client.WaitJob(jv.ID, 30*time.Second); err != nil {
+			return fmt.Errorf("final count job: %w", err)
+		}
+	}
+	if jv.State != serve.StateDone || jv.Result == nil {
+		return fmt.Errorf("final count job ended %s (%s)", jv.State, jv.Error)
+	}
+	want := serve.CountResult(finalCnt, graph.NewBitAdjacency(cur).Mode())
+	jGot, err1 := json.Marshal(jv.Result)
+	jWant, err2 := json.Marshal(want)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("encoding count envelopes: %v, %v", err1, err2)
+	}
+	if !bytes.Equal(jGot, jWant) {
+		return fmt.Errorf("final count result not byte-identical to the from-scratch envelope:\n  daemon: %s\n  want:   %s", jGot, jWant)
+	}
+	return nil
+}
+
+// deltaOracleApplies gates the oracle: fault plans never touch the delta
+// path, and the kernel comparisons need the clique sizes to be countable
+// (always true — sizes 3 and 4 are within MaxCliqueSize by construction).
+func deltaOracleApplies(c *Case) bool {
+	return faultFree(c) && kernel.MaxCliqueSize >= 4
+}

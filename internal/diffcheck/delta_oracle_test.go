@@ -1,0 +1,31 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaVsScratchSequences drives the delta-vs-scratch oracle over
+// enough generated cases to cover at least 200 independent random delta
+// sequences — the acceptance bar for the evolving-graph subsystem. Each
+// sequence chains deltaOracleSteps deltas through the library, the
+// daemon, and a from-scratch rebuild, and runs both engines plus both
+// kernel adjacency backends on the evolved graph.
+func TestDeltaVsScratchSequences(t *testing.T) {
+	const wantSequences = 200
+	h := NewHarness()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(0xd17a5))
+	sequences := 0
+	for i := 0; sequences < wantSequences; i++ {
+		c := GenerateCase(rng, i)
+		if !deltaOracleApplies(c) {
+			continue
+		}
+		if err := checkDeltaVsScratch(h, c); err != nil {
+			t.Fatalf("case %s (seed %d): %v", c.Name, c.Seed, err)
+		}
+		sequences += deltaOracleSequences
+	}
+	t.Logf("delta-vs-scratch: %d sequences passed", sequences)
+}

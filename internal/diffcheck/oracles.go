@@ -286,6 +286,12 @@ func Oracles() []Oracle {
 			Applies: func(c *Case) bool { return faultFree(c) && c.Seed%3 == 0 },
 			Check:   checkNodeCrashDuringDrain,
 		},
+		{
+			Name:    "delta-vs-scratch",
+			Doc:     "random delta sequences: incremental digests, kernel counts (both adjacency modes), daemon watch verdicts, and the final count envelope are byte-identical to from-scratch rebuilds",
+			Applies: deltaOracleApplies,
+			Check:   checkDeltaVsScratch,
+		},
 	}
 }
 

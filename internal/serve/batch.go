@@ -103,9 +103,16 @@ func (s *Server) runKernelBatch(leader *job) {
 		s.slo.observeQueueWait(wait)
 	}
 
-	// One adjacency build, shared by every pattern in the batch.
+	// One adjacency, shared by every pattern in the batch — resolved
+	// through the store's per-digest cache, so repeat count jobs (and a
+	// delta that already built this graph's adjacency) skip the build.
 	buildSpan := leader.rootSpan.StartChild("bitset_build")
-	bits := graph.NewBitAdjacency(leader.g.G)
+	bits, ok := s.store.Bits(leader.digest)
+	if !ok {
+		// Evicted between admission and execution of an unpinned batchmate;
+		// the job still holds the graph itself.
+		bits = graph.NewBitAdjacency(leader.g.G)
+	}
 	buildSpan.Annotate("mode", string(bits.Mode()))
 	buildSpan.Annotate("n", strconv.Itoa(bits.N()))
 	buildSpan.Annotate("m", strconv.Itoa(bits.M()))
@@ -167,6 +174,7 @@ func (s *Server) runKernelBatch(leader *job) {
 		j.mu.Unlock()
 		close(j.finished)
 		s.clearInflight(j)
+		s.releaseJobPin(j)
 		s.publishTimeline(j, StateDone)
 		s.logger.Info("job done",
 			"job_id", j.id, "trace_id", j.tl.TraceID(), "digest", j.digest,

@@ -243,8 +243,10 @@ func (c *Client) attempt(base string, p RetryPolicy, method, path, contentType s
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra > 0 {
-		retryAfter = time.Duration(ra) * time.Second
+	// Both RFC 9110 forms (delay-seconds and HTTP-date) are honored;
+	// backoff() clamps the result to the policy's MaxRetryAfter.
+	if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		retryAfter = ra
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -293,6 +295,20 @@ func (c *Client) UploadGraph(edgeList string) (UploadView, error) {
 		err = fmt.Errorf("upload rejected with HTTP %d", status)
 	}
 	return v, err
+}
+
+// ApplyDelta applies an edge-delta batch to a stored graph, returning
+// the successor graph's view. The HTTP status is returned alongside so
+// callers can distinguish 201 (new child), 200 (deduped), 404 (parent
+// evicted: re-upload and resubmit), and the 4xx validation family.
+func (c *Client) ApplyDelta(digest string, req DeltaRequest) (DeltaView, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return DeltaView{}, 0, err
+	}
+	var v DeltaView
+	status, err := c.do("POST", "/v1/graphs/"+digest+"/delta", "application/json", body, &v)
+	return v, status, err
 }
 
 // SubmitJob submits a job spec; the HTTP status is returned alongside the

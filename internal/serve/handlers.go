@@ -66,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
 	mux.HandleFunc("GET /v1/graphs/{digest}", s.handleGraphInfo)
 	mux.HandleFunc("GET /v1/graphs/{digest}/edgelist", s.handleGraphDownload)
+	mux.HandleFunc("POST /v1/graphs/{digest}/delta", s.handleGraphDelta)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -278,6 +279,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			s.reg.Histogram(HistCacheHitNs, JobWallBuckets).
 				Observe(float64(j.latencyNs))
 			s.publishTimeline(j, StateDone)
+			s.releaseJobPin(j)
 			writeJSON(w, http.StatusOK, j.view())
 			return
 		}
@@ -300,6 +302,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			root.Annotate("outcome", "shed")
 			root.Finish()
 			s.publishTimeline(j, "shed")
+			s.releaseJobPin(j)
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 			writeErr(w, http.StatusTooManyRequests,
 				"shedding %s-priority load: p99 over budget; retry later", displayPriority(spec.Priority))
@@ -316,6 +319,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		root.Annotate("coalesced_onto", existing.id)
 		root.Finish()
 		s.publishTimeline(j, "coalesced")
+		s.releaseJobPin(j)
 		w.Header().Set("Location", "/v1/jobs/"+existing.id)
 		writeJSON(w, http.StatusAccepted, existing.view())
 		return
@@ -333,11 +337,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case draining:
 		s.unregister(j)
+		s.releaseJobPin(j)
 		s.reg.Counter(MetricJobsDraining).Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is draining; submit elsewhere")
 		return
 	case !queued:
 		s.unregister(j)
+		s.releaseJobPin(j)
 		s.reg.Counter(MetricJobsRejected).Inc()
 		root.Annotate("outcome", "rejected")
 		root.Finish()

@@ -141,6 +141,13 @@ type job struct {
 	// guarded by Server.mu, not j.mu (see batch.go).
 	batchClaimed bool
 
+	// pinned marks that prepare() holds a Store pin on the job's graph,
+	// released exactly once (pinOnce) when the job reaches any terminal
+	// or bounced outcome — eviction can then never invalidate an
+	// admitted job.
+	pinned  bool
+	pinOnce sync.Once
+
 	// Span plumbing. tl/rootSpan are set at admission (handleJobSubmit)
 	// before the job is visible to any worker; queueSpan is set under
 	// Server.mu before enqueue and finished by the worker that dequeues.
@@ -256,14 +263,18 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 		digest, deduped = s.store.Put(g)
 		s.countUpload(deduped)
 	}
-	nw, ok := s.network(digest)
-	if !ok {
+	// Pin before resolving: the pin guarantees the entry outlives the job
+	// (LRU eviction skips pinned graphs), so an admitted job can never
+	// 404 at dequeue time. Released via releaseJobPin on every outcome.
+	if !s.store.Pin(digest) {
 		return nil, &apiError{status: 404, msg: fmt.Sprintf("unknown graph digest %q (upload it first)", digest)}
 	}
+	nw, _ := s.network(digest)
 
 	effective := subgraph.OptionsSpecOf(opts)
 	key := cacheKey(digest, h, effective, count)
 	return &job{
+		pinned:   true,
 		digest:   digest,
 		pattern:  spec.Pattern,
 		g:        nw,
@@ -280,8 +291,18 @@ func (s *Server) prepare(spec JobSpec) (*job, *apiError) {
 	}, nil
 }
 
+// releaseJobPin drops the graph pin a job's prepare() took. Safe to call
+// from every outcome path; only the first call releases.
+func (s *Server) releaseJobPin(j *job) {
+	if !j.pinned {
+		return
+	}
+	j.pinOnce.Do(func() { s.store.Unpin(j.digest) })
+}
+
 // runJob executes one admitted job on a worker.
 func (s *Server) runJob(j *job) {
+	defer s.releaseJobPin(j)
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()

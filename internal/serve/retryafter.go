@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRetryAfter parses an RFC 9110 Retry-After header value, which is
+// either delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026
+// 17:30:00 GMT"). It returns the wait relative to now and whether the
+// value parsed at all. A date in the past (or "0") parses successfully
+// to a zero wait — the server said "now". Callers still clamp the result
+// to their own cap: a parsed value is the server's request, not an
+// obligation.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"delay seconds", "7", 7 * time.Second, true},
+		{"zero seconds", "0", 0, true},
+		{"padded seconds", "  12  ", 12 * time.Second, true},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"rfc850 date", now.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Minute, true},
+		{"negative seconds", "-3", 0, false},
+		{"garbage", "soon", 0, false},
+		{"empty", "", 0, false},
+		{"float", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.v, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.v, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestClientHonorsDateFormRetryAfter pins the satellite-3 fix end to
+// end: a 429 carrying an HTTP-date Retry-After makes the client wait
+// (clamped to the policy cap) instead of silently treating the header
+// as absent.
+func TestClientHonorsDateFormRetryAfter(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			// Asks for 60s — far over the 5s policy cap below.
+			w.Header().Set("Retry-After", time.Now().Add(60*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{Base: ts.URL, Retry: &RetryPolicy{
+		MaxAttempts:   3,
+		BaseDelay:     time.Millisecond,
+		MaxDelay:      2 * time.Millisecond,
+		MaxRetryAfter: 5 * time.Second,
+		Sleep:         func(d time.Duration) { slept = append(slept, d) },
+	}}
+	var out map[string]string
+	status, err := c.do("GET", "/thing", "", nil, &out)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("do = (%d, %v)", status, err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("expected one backoff sleep, got %v", slept)
+	}
+	// The 60s date-form request must be honored but clamped to the cap —
+	// far above the millisecond-scale exponential backoff it replaced.
+	if slept[0] < time.Second || slept[0] > 5*time.Second {
+		t.Fatalf("backoff %v: date-form Retry-After not honored/clamped", slept[0])
+	}
+}
+
+// TestBackoffClampsRetryAfter pins the policy-cap clamp directly.
+func TestBackoffClampsRetryAfter(t *testing.T) {
+	p := RetryPolicy{}.withDefaults() // MaxRetryAfter 5s
+	rng := rand.New(rand.NewSource(1))
+	if d := p.backoff(1, time.Hour, rng); d > p.MaxRetryAfter {
+		t.Fatalf("backoff honored %v past the %v cap", d, p.MaxRetryAfter)
+	}
+	if d := p.backoff(1, 4*time.Second, rng); d < 4*time.Second {
+		t.Fatalf("backoff %v under the server's in-cap request", d)
+	}
+}

@@ -58,6 +58,9 @@ const (
 	MetricDetectRuns          = "serve_detect_runs_total" // engine executions (≠ hits)
 	MetricGraphUploads        = "serve_graphs_uploaded_total"
 	MetricGraphDedups         = "serve_graphs_deduped_total"
+	MetricGraphDeltas         = "serve_graph_deltas_total"    // applied delta batches
+	MetricDeltaForwarded      = "serve_delta_forwarded_total" // count-cache entries forwarded to children
+	MetricDeltaFallback       = "serve_delta_fallback_total"  // incremental paths that fell back to full runs
 	GaugeQueueDepth           = "serve_queue_depth"
 	GaugeSLODegraded          = "serve_slo_degraded"          // 0 healthy / 1 degraded / 2 critical
 	GaugeSLOLatencyP99        = "serve_slo_p99_latency_ns"    // rolling-window p99 job wall
@@ -148,6 +151,12 @@ type Config struct {
 	// Empty (the single-node default) leaves the exposition unlabeled and
 	// byte-identical to earlier versions.
 	NodeName string
+	// DeltaChurnThreshold gates incremental maintenance on the delta
+	// endpoint: deltas whose churn ratio (changes / parent edges) exceeds
+	// it fall back to full recomputation (serve_delta_fallback_total).
+	// Zero takes the default 0.05; negative disables incremental paths
+	// entirely.
+	DeltaChurnThreshold float64
 }
 
 // JobDone describes a completed job to the Config.OnJobDone tap. Network
@@ -208,6 +217,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.DeltaChurnThreshold == 0 {
+		c.DeltaChurnThreshold = 0.05
+	}
+	if c.DeltaChurnThreshold < 0 {
+		c.DeltaChurnThreshold = -1
 	}
 	return c
 }
@@ -271,6 +286,7 @@ func New(cfg Config) *Server {
 		MetricCacheHits, MetricCacheMisses, MetricDetectRuns,
 		MetricKernelRuns, MetricKernelJobs,
 		MetricGraphUploads, MetricGraphDedups,
+		MetricGraphDeltas, MetricDeltaForwarded, MetricDeltaFallback,
 	} {
 		s.reg.Counter(name)
 	}

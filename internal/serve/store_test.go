@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subgraph"
+	"subgraph/internal/graph"
+)
+
+func storeTestGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.GNP(16, 0.3, rng)
+}
+
+// TestStoreNetworkBuildsLazilyOutsideLock pins the lazy-build contract:
+// Put never builds the network; the first Network() call does, outside
+// the store lock, so concurrent reads of *other* digests never block
+// behind a build.
+func TestStoreNetworkBuildsLazilyOutsideLock(t *testing.T) {
+	s := NewStore(8)
+	var builds int32
+	slowEntered := make(chan struct{})
+	slowRelease := make(chan struct{})
+	s.buildNetwork = func(g *graph.Graph) *subgraph.Network {
+		if atomic.AddInt32(&builds, 1) == 1 {
+			close(slowEntered)
+			<-slowRelease
+		}
+		return subgraph.NewNetwork(g)
+	}
+	fast := storeTestGraph(1)
+	slow := storeTestGraph(2)
+	s.Put(fast)
+	s.Put(slow)
+	if got := atomic.LoadInt32(&builds); got != 0 {
+		t.Fatalf("Put built %d networks, want 0 (lazy)", got)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.Network(slow.Digest())
+		close(done)
+	}()
+	<-slowEntered
+
+	// The slow build holds no lock: Get/Network/Info on the fast graph
+	// must return promptly (and may build the fast network concurrently).
+	read := make(chan struct{})
+	go func() {
+		if _, ok := s.Get(fast.Digest()); !ok {
+			t.Error("fast graph missing")
+		}
+		if _, ok := s.Network(fast.Digest()); !ok {
+			t.Error("fast network missing")
+		}
+		close(read)
+	}()
+	select {
+	case <-read:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reads blocked behind a network build")
+	}
+	close(slowRelease)
+	<-done
+	if nw, ok := s.Network(slow.Digest()); !ok || nw == nil {
+		t.Fatal("slow network missing after build")
+	}
+}
+
+// TestStoreNetworkSingleFlight: concurrent Network() calls on one digest
+// build exactly once and all callers get the same shared network.
+func TestStoreNetworkSingleFlight(t *testing.T) {
+	s := NewStore(8)
+	var builds int32
+	s.buildNetwork = func(g *graph.Graph) *subgraph.Network {
+		atomic.AddInt32(&builds, 1)
+		time.Sleep(10 * time.Millisecond)
+		return subgraph.NewNetwork(g)
+	}
+	g := storeTestGraph(3)
+	s.Put(g)
+	const callers = 8
+	var wg sync.WaitGroup
+	nws := make([]*subgraph.Network, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nws[i], _ = s.Network(g.Digest())
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Fatalf("network built %d times, want 1", got)
+	}
+	for i, nw := range nws {
+		if nw == nil || nw != nws[0] {
+			t.Fatalf("caller %d got a different network (%p vs %p)", i, nw, nws[0])
+		}
+	}
+	// A build in flight pins the entry: churn past the cap during the
+	// build must not evict the graph under the builder.
+	s2 := NewStore(1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s2.buildNetwork = func(g *graph.Graph) *subgraph.Network {
+		close(entered)
+		<-release
+		return subgraph.NewNetwork(g)
+	}
+	g2 := storeTestGraph(4)
+	s2.Put(g2)
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := s2.Network(g2.Digest())
+		got <- ok
+	}()
+	<-entered
+	s2.Put(storeTestGraph(5)) // would evict g2 were it not pinned by the build
+	close(release)
+	if !<-got {
+		t.Fatal("build lost its graph to eviction")
+	}
+}
+
+// TestStorePinBlocksEviction pins the satellite-2 fix: a pinned entry
+// survives churn past the LRU bound, and unpinning re-enforces it.
+func TestStorePinBlocksEviction(t *testing.T) {
+	s := NewStore(2)
+	pinned := storeTestGraph(10)
+	s.Put(pinned)
+	if !s.Pin(pinned.Digest()) {
+		t.Fatal("Pin refused a stored digest")
+	}
+	// Churn far past the cap.
+	for i := 0; i < 10; i++ {
+		s.Put(storeTestGraph(int64(20 + i)))
+	}
+	if _, ok := s.Get(pinned.Digest()); !ok {
+		t.Fatal("pinned graph was evicted under churn")
+	}
+	s.Unpin(pinned.Digest())
+	// Now it is the LRU victim candidate again: one more insert with the
+	// store over/at cap must be able to evict it.
+	for i := 0; i < 3; i++ {
+		s.Put(storeTestGraph(int64(40 + i)))
+	}
+	if _, ok := s.Get(pinned.Digest()); ok {
+		t.Fatal("unpinned graph survived eviction pressure")
+	}
+	if s.Len() > 2 {
+		t.Fatalf("store holds %d entries after unpin, cap 2", s.Len())
+	}
+	if s.Pin("no-such-digest") {
+		t.Fatal("Pin accepted an unknown digest")
+	}
+}
+
+// TestStoreLineage records parent→child links through PutChild and
+// scrubs them on eviction of the child.
+func TestStoreLineage(t *testing.T) {
+	s := NewStore(8)
+	parent := storeTestGraph(50)
+	child := storeTestGraph(51)
+	pd, _ := s.Put(parent)
+	cd, deduped := s.PutChild(child, pd)
+	if deduped {
+		t.Fatal("fresh child reported deduped")
+	}
+	if got, ok := s.Parent(cd); !ok || got != pd {
+		t.Fatalf("Parent(%s) = (%q,%v), want %q", cd, got, ok, pd)
+	}
+	if kids := s.Children(pd); len(kids) != 1 || kids[0] != cd {
+		t.Fatalf("Children = %v, want [%s]", kids, cd)
+	}
+	if info, _ := s.Info(cd); info.Parent != pd {
+		t.Fatalf("Info.Parent = %q, want %q", info.Parent, pd)
+	}
+	// Re-deriving the same child from a different parent keeps the first
+	// lineage.
+	other := storeTestGraph(52)
+	od, _ := s.Put(other)
+	if _, dd := s.PutChild(child, od); !dd {
+		t.Fatal("identical child graph not deduped")
+	}
+	if got, _ := s.Parent(cd); got != pd {
+		t.Fatalf("lineage overwritten: Parent = %q, want %q", got, pd)
+	}
+	// Evicting the child scrubs its lineage records.
+	tiny := NewStore(1)
+	tiny.Put(parent)
+	tiny.PutChild(child, pd) // evicts parent (cap 1)
+	tiny.Put(other)          // evicts child
+	if _, ok := tiny.Parent(cd); ok {
+		t.Fatal("evicted child still has a parent record")
+	}
+	if kids := tiny.Children(pd); len(kids) != 0 {
+		t.Fatalf("evicted child still listed: %v", kids)
+	}
+}
+
+// TestStoreConcurrentChurn hammers Put/Get/Pin/Unpin under -race.
+func TestStoreConcurrentChurn(t *testing.T) {
+	s := NewStore(4)
+	graphs := make([]*graph.Graph, 12)
+	for i := range graphs {
+		graphs[i] = storeTestGraph(int64(100 + i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				g := graphs[rng.Intn(len(graphs))]
+				d := g.Digest()
+				switch rng.Intn(4) {
+				case 0:
+					s.Put(g)
+				case 1:
+					s.Get(d)
+				case 2:
+					if s.Pin(d) {
+						s.Unpin(d)
+					}
+				case 3:
+					s.List()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > len(graphs) {
+		t.Fatalf("store grew past the working set: %d", s.Len())
+	}
+	// All pins released: the bound must hold after one more insert.
+	s.Put(storeTestGraph(999))
+	if s.Len() > 4 {
+		t.Fatalf("store over cap with no pins: %d", s.Len())
+	}
+}
